@@ -1,0 +1,67 @@
+"""Table I — homophily metrics on directed vs undirected views + AMUD score.
+
+Paper claim: the five classic homophily measures barely change between the
+natural directed graph and its coarse undirected transformation, while the
+AMUD score separates the homophilous (CoraML, CiteSeer → undirected regime)
+from the heterophilous directional datasets (Chameleon, Squirrel → directed
+regime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amud import amud_decide
+from repro.datasets import load_dataset
+from repro.graph import to_undirected
+from repro.metrics import homophily_report
+
+from helpers import print_banner
+
+DATASETS = ("coraml", "chameleon", "citeseer", "squirrel")
+
+
+def build_table1():
+    rows = {}
+    for name in DATASETS:
+        graph = load_dataset(name, seed=0)
+        undirected = to_undirected(graph)
+        rows[name] = {
+            "directed": homophily_report(graph),
+            "undirected": homophily_report(undirected),
+            "amud": amud_decide(graph).score,
+        }
+    return rows
+
+
+def check_table1_shape(rows):
+    """The qualitative claims the reproduction must preserve."""
+    # Classic metrics move very little when undirecting (paper's observation).
+    for name, row in rows.items():
+        for metric in ("node", "edge", "class", "adjusted"):
+            assert abs(row["directed"][metric] - row["undirected"][metric]) < 0.12, (name, metric)
+    # AMUD separates the two regimes around the 0.5 threshold.
+    assert rows["coraml"]["amud"] < 0.5
+    assert rows["citeseer"]["amud"] < 0.5
+    assert rows["chameleon"]["amud"] > 0.5
+    assert rows["squirrel"]["amud"] > 0.5
+
+
+def print_table1(rows):
+    print_banner("Table I — homophily metrics (directed -> undirected) and AMUD score")
+    header = f"{'dataset':<12s}" + "".join(
+        f"{metric:>16s}" for metric in ("Hnode", "Hedge", "Hclass", "Hadj", "LI")
+    ) + f"{'AMUD':>8s}"
+    print(header)
+    for name, row in rows.items():
+        cells = []
+        for metric in ("node", "edge", "class", "adjusted", "label_informativeness"):
+            cells.append(f"{row['directed'][metric]:>7.3f}-{row['undirected'][metric]:<7.3f}")
+        print(f"{name:<12s}" + " ".join(cells) + f"{row['amud']:>8.3f}")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_homophily_metrics(benchmark):
+    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    print_table1(rows)
+    check_table1_shape(rows)

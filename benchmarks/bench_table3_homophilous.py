@@ -1,0 +1,48 @@
+"""Table III — accuracy on the homophilous (AMUndirected, Score < 0.5) datasets.
+
+Expected shape (not absolute numbers): undirected GNNs rank above directed
+GNNs on average, and ADPA is the best or among the best models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import TABLE3_DATASETS, load_group
+from repro.models import get_spec
+from repro.training import average_rank, format_results_table
+
+from conftest import FULL_PROTOCOL, bench_model_subset, bench_seeds, bench_trainer
+from helpers import print_banner, run_accuracy_table
+
+#: quick protocol uses a representative third of the datasets
+DATASETS = TABLE3_DATASETS if FULL_PROTOCOL else ("coraml", "citeseer", "tolokers")
+
+
+def build_table3():
+    datasets = load_group(DATASETS, seed=0)
+    models = bench_model_subset(directed=False)
+    return run_accuracy_table(
+        models, datasets, amud_directed=False, seeds=bench_seeds(), trainer=bench_trainer()
+    )
+
+
+def check_table3_shape(table):
+    ranks = average_rank(list(table.values()))
+    undirected = [rank for name, rank in ranks.items()
+                  if name != "ADPA" and not get_spec(name).is_directed]
+    directed = [rank for name, rank in ranks.items()
+                if name != "ADPA" and get_spec(name).is_directed]
+    # Undirected GNNs should rank better (lower) than directed GNNs on average.
+    assert np.mean(undirected) < np.mean(directed) + 1.0
+    # ADPA should be competitive: within the top half of the ranking.
+    assert ranks["ADPA"] <= (len(ranks) + 1) / 2.0
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_homophilous_accuracy(benchmark):
+    table = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    print_banner("Table III — accuracy on homophilous (AMUndirected) datasets")
+    print(format_results_table(table))
+    check_table3_shape(table)

@@ -1,0 +1,47 @@
+"""Table IV — accuracy on the heterophilous (AMDirected, Score > 0.5) datasets.
+
+Expected shape: directed GNNs rank above undirected GNNs, and ADPA ranks
+first or near-first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import TABLE4_DATASETS, load_group
+from repro.models import get_spec
+from repro.training import average_rank, format_results_table
+
+from conftest import FULL_PROTOCOL, bench_model_subset, bench_seeds, bench_trainer
+from helpers import print_banner, run_accuracy_table
+
+DATASETS = TABLE4_DATASETS if FULL_PROTOCOL else ("texas", "chameleon", "squirrel")
+
+
+def build_table4():
+    datasets = load_group(DATASETS, seed=0)
+    models = bench_model_subset(directed=True)
+    return run_accuracy_table(
+        models, datasets, amud_directed=True, seeds=bench_seeds(), trainer=bench_trainer()
+    )
+
+
+def check_table4_shape(table):
+    ranks = average_rank(list(table.values()))
+    undirected = [rank for name, rank in ranks.items()
+                  if name != "ADPA" and not get_spec(name).is_directed]
+    directed = [rank for name, rank in ranks.items()
+                if name != "ADPA" and get_spec(name).is_directed]
+    # Directed GNNs must rank better (lower) than undirected GNNs on average.
+    assert np.mean(directed) < np.mean(undirected)
+    # ADPA must be in the top 3 of the ranking on AMDirected data.
+    assert ranks["ADPA"] <= 3.0
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_heterophilous_accuracy(benchmark):
+    table = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    print_banner("Table IV — accuracy on heterophilous (AMDirected) datasets")
+    print(format_results_table(table))
+    check_table4_shape(table)

@@ -1,0 +1,86 @@
+"""Table V — improvement from following the AMUD guidance on the "abnormal" datasets.
+
+Actor and Amazon-rating are heterophilous by the classic measures yet AMUD
+flags them as undirected; Genius is homophilous yet AMUD flags it directed
+(ogbn-arxiv behaves like the former group).  The paper's claim: feeding each
+directed model the AMUD-recommended view beats the opposite view, and ADPA
+is the least sensitive to the choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amud import amud_decide
+from repro.datasets import TABLE5_DATASETS, load_dataset
+from repro.graph import to_undirected
+from repro.training import run_repeated
+
+from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
+from helpers import DEFAULT_MODEL_KWARGS, print_banner
+
+DATASETS = TABLE5_DATASETS if FULL_PROTOCOL else ("actor", "genius")
+MODELS = ("MagNet", "DirGNN", "ADPA") if not FULL_PROTOCOL else ("MagNet", "DIMPA", "DirGNN", "ADPA")
+
+
+def build_table5():
+    seeds, trainer = bench_seeds(), bench_trainer()
+    rows = {}
+    for dataset_name in DATASETS:
+        graph = load_dataset(dataset_name, seed=0)
+        decision = amud_decide(graph)
+        undirected = to_undirected(graph)
+        per_model = {}
+        for model_name in MODELS:
+            kwargs = DEFAULT_MODEL_KWARGS.get(model_name, {})
+            undirected_result = run_repeated(
+                model_name, undirected, seeds=seeds, trainer=trainer, model_kwargs=kwargs
+            )
+            directed_result = run_repeated(
+                model_name, graph, seeds=seeds, trainer=trainer, model_kwargs=kwargs
+            )
+            per_model[model_name] = {
+                "U": undirected_result.test_mean,
+                "D": directed_result.test_mean,
+            }
+        rows[dataset_name] = {"decision": decision, "models": per_model}
+    return rows
+
+
+def print_table5(rows):
+    print_banner("Table V — AMUD guidance (U- vs D- inputs) on the abnormal datasets")
+    for dataset_name, row in rows.items():
+        decision = row["decision"]
+        print(f"\n{dataset_name}: AMUD score {decision.score:.3f} -> {decision.modeling}")
+        print(f"{'model':<10s}{'U- acc':>10s}{'D- acc':>10s}{'gap %':>9s}")
+        for model_name, accs in row["models"].items():
+            gap = 100 * abs(accs["U"] - accs["D"]) / max(accs["U"], accs["D"], 1e-9)
+            print(f"{model_name:<10s}{100 * accs['U']:>10.1f}{100 * accs['D']:>10.1f}{gap:>9.1f}")
+
+
+def check_table5_shape(rows):
+    for dataset_name, row in rows.items():
+        recommended = "D" if row["decision"].keep_directed else "U"
+        other = "U" if recommended == "D" else "D"
+        baseline_models = [name for name in row["models"] if name != "ADPA"]
+        # Majority of the directed baselines gain from following the guidance.
+        gains = [
+            row["models"][name][recommended] >= row["models"][name][other] - 0.01
+            for name in baseline_models
+        ]
+        assert np.mean(gains) >= 0.5, dataset_name
+        # ADPA's sensitivity to the view is no worse than the baselines' average.
+        def sensitivity(name):
+            accs = row["models"][name]
+            return abs(accs["U"] - accs["D"]) / max(accs["U"], accs["D"], 1e-9)
+
+        baseline_sensitivity = np.mean([sensitivity(name) for name in baseline_models])
+        assert sensitivity("ADPA") <= baseline_sensitivity + 0.05, dataset_name
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_amud_improvement(benchmark):
+    rows = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    print_table5(rows)
+    check_table5_shape(rows)

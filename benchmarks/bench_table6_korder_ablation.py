@@ -1,0 +1,67 @@
+"""Table VI — ADPA accuracy under different k-order DP operator sets.
+
+The paper finds 2-order DPs optimal on most datasets: 1-order operators are
+too weak (only in/out 1-hop neighbours) and orders ≥ 3 add redundant,
+overfitting-prone structure.  The shape check asserts that 2-order beats
+1-order everywhere and that going to 3-order never helps by a large margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.training import run_repeated
+
+from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
+from helpers import print_banner
+
+DATASETS = ("coraml", "chameleon", "squirrel") if not FULL_PROTOCOL else (
+    "coraml", "citeseer", "tolokers", "texas", "cornell", "wisconsin",
+    "chameleon", "squirrel", "roman-empire",
+)
+ORDERS = (1, 2, 3)
+
+
+def build_table6():
+    seeds, trainer = bench_seeds(), bench_trainer()
+    rows = {}
+    for dataset_name in DATASETS:
+        graph = load_dataset(dataset_name, seed=0)
+        per_order = {}
+        for order in ORDERS:
+            result = run_repeated(
+                "ADPA",
+                graph,
+                seeds=seeds,
+                trainer=trainer,
+                model_kwargs={"hidden": 64, "num_steps": 2, "order": order},
+            )
+            per_order[order] = result.test_mean
+        rows[dataset_name] = per_order
+    return rows
+
+
+def print_table6(rows):
+    print_banner("Table VI — ADPA accuracy vs k-order DP operators")
+    print(f"{'dataset':<16s}" + "".join(f"{f'{order}-order':>12s}" for order in ORDERS))
+    for dataset_name, per_order in rows.items():
+        print(
+            f"{dataset_name:<16s}"
+            + "".join(f"{100 * per_order[order]:>12.1f}" for order in ORDERS)
+        )
+
+
+def check_table6_shape(rows):
+    for dataset_name, per_order in rows.items():
+        # 2-order must beat 1-order (the paper's main ablation finding).
+        assert per_order[2] >= per_order[1] - 0.02, dataset_name
+        # Higher order shouldn't dominate 2-order by a wide margin.
+        assert per_order[3] <= per_order[2] + 0.08, dataset_name
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_korder_ablation(benchmark):
+    rows = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    print_table6(rows)
+    check_table6_shape(rows)

@@ -1,0 +1,58 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  To keep the
+whole suite runnable on a laptop CPU in minutes, the benchmarks default to a
+reduced protocol (one seed, shortened training, a representative model
+subset); the environment variable ``REPRO_BENCH_FULL=1`` switches to the
+full protocol (three seeds, longer training, the complete model zoo).
+
+The actual table rows are printed to stdout so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment report
+generator; pytest-benchmark additionally records the wall-clock cost of each
+regeneration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: switch between the quick (CI-sized) and full experimental protocol
+FULL_PROTOCOL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_seeds():
+    return (0, 1, 2) if FULL_PROTOCOL else (0,)
+
+
+def bench_trainer():
+    from repro.training import Trainer
+
+    if FULL_PROTOCOL:
+        return Trainer(epochs=200, patience=30)
+    return Trainer(epochs=80, patience=20)
+
+
+def bench_model_subset(directed: bool):
+    """Representative model columns for the accuracy tables."""
+    if FULL_PROTOCOL:
+        undirected = [
+            "MLP", "GCN", "SGC", "GCNII", "GRAND", "LINKX", "GloGNN", "AeroGNN",
+            "GPRGNN", "BernNet", "JacobiConv",
+        ]
+        directed_names = ["DGCN", "DiGCN", "MagNet", "NSTE", "DIMPA", "DirGNN", "A2DUG"]
+    else:
+        undirected = ["MLP", "GCN", "SGC", "GPRGNN", "LINKX", "JacobiConv"]
+        directed_names = ["DiGCN", "MagNet", "DirGNN", "A2DUG"]
+    return undirected + directed_names + ["ADPA"]
+
+
+@pytest.fixture(scope="session")
+def protocol():
+    """Expose the protocol settings to benchmark functions."""
+    return {
+        "full": FULL_PROTOCOL,
+        "seeds": bench_seeds(),
+        "trainer": bench_trainer(),
+    }

@@ -1,0 +1,72 @@
+"""Shared utilities for the benchmark harness.
+
+The input-view convention follows the paper's experimental setup (Sec. V-A):
+
+* undirected GNNs are always fed the coarse undirected transformation (U-);
+* directed GNNs are fed the natural digraph (D-);
+* ADPA is fed the AMUD output — undirected for Table III datasets,
+  directed for Table IV datasets (Fig. 1 workflow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph import DirectedGraph, to_undirected
+from repro.models import get_spec, PROPOSED
+from repro.training import ExperimentResult, Trainer, run_repeated
+
+#: per-model constructor overrides used across benchmarks (kept small: the
+#: defaults already follow each original paper's recommended settings).
+DEFAULT_MODEL_KWARGS: Dict[str, Dict] = {
+    "ADPA": {"hidden": 64, "num_steps": 3},
+}
+
+
+def resolve_input_view(model_name: str, graph: DirectedGraph, amud_directed: bool) -> DirectedGraph:
+    """Pick the U-/D- input view for a model following the paper's protocol."""
+    spec = get_spec(model_name)
+    if spec.category == PROPOSED:
+        return graph if amud_directed else to_undirected(graph)
+    if spec.is_directed:
+        return graph
+    return to_undirected(graph)
+
+
+def run_table_cell(
+    model_name: str,
+    graph: DirectedGraph,
+    amud_directed: bool,
+    seeds: Sequence[int],
+    trainer: Trainer,
+    model_kwargs: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Train one model on one dataset under the table's input-view protocol."""
+    view = resolve_input_view(model_name, graph, amud_directed)
+    kwargs = dict(DEFAULT_MODEL_KWARGS.get(model_name, {}))
+    if model_kwargs:
+        kwargs.update(model_kwargs)
+    return run_repeated(model_name, view, seeds=seeds, trainer=trainer, model_kwargs=kwargs)
+
+
+def run_accuracy_table(
+    model_names: Sequence[str],
+    datasets: Dict[str, DirectedGraph],
+    amud_directed: bool,
+    seeds: Sequence[int],
+    trainer: Trainer,
+) -> Dict[str, List[ExperimentResult]]:
+    """Fill a full (model x dataset) accuracy table."""
+    table: Dict[str, List[ExperimentResult]] = {}
+    for dataset_name, graph in datasets.items():
+        table[dataset_name] = [
+            run_table_cell(name, graph, amud_directed, seeds, trainer)
+            for name in model_names
+        ]
+    return table
+
+
+def print_banner(title: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,51 @@
+"""AMUD guidance survey: score every benchmark stand-in and compare metrics.
+
+Usage::
+
+    python examples/amud_guidance.py
+
+Reproduces the data-engineering story of the paper (Table I / Table II): for
+every dataset the classic homophily measures are computed on both the
+directed and the coarsely-undirected view, showing how little they change,
+while the AMUD score cleanly separates the datasets that should stay
+directed from the ones that should be undirected.
+"""
+
+from __future__ import annotations
+
+from repro.amud import amud_decide
+from repro.datasets import dataset_config, list_datasets, load_dataset
+from repro.graph import to_undirected
+from repro.metrics import adjusted_homophily, edge_homophily, label_informativeness
+
+
+def main() -> None:
+    header = (
+        f"{'dataset':<18s} {'E.Homo(D/U)':>14s} {'Adj.Homo(D/U)':>14s} "
+        f"{'LI(D/U)':>14s} {'AMUD':>6s} {'modeling':>11s} {'paper regime':>13s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in list_datasets():
+        graph = load_dataset(name, seed=0)
+        undirected = to_undirected(graph)
+        decision = amud_decide(graph)
+        expected = dataset_config(name).amud_regime
+        marker = "" if decision.modeling == expected else "  <-- disagrees"
+        print(
+            f"{name:<18s} "
+            f"{edge_homophily(graph):>6.3f}/{edge_homophily(undirected):<6.3f} "
+            f"{adjusted_homophily(graph):>6.3f}/{adjusted_homophily(undirected):<6.3f} "
+            f"{label_informativeness(graph):>6.3f}/{label_informativeness(undirected):<6.3f} "
+            f"{decision.score:>6.3f} {decision.modeling:>11s} {expected:>13s}{marker}"
+        )
+
+    print(
+        "\nClassic homophily metrics barely move between the directed and undirected "
+        "views, while the AMUD score separates the two modeling regimes — the paper's "
+        "Table I observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Inspect what ADPA's two attention levels learned on one dataset.
+
+Usage::
+
+    python examples/attention_analysis.py [dataset-name]
+
+After training ADPA the script reports
+
+* the average hop-attention distribution (how deep the model looks), overall
+  and per class;
+* the average DP-attention distribution (which directed patterns matter);
+* the mean effective receptive depth.
+
+On heterophilous directional datasets the DP attention should concentrate on
+the homophily-recovering composites ``AAᵀ`` / ``AᵀA`` rather than the raw
+1-hop operators — the mechanism behind the paper's Table VI/VII discussion.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Trainer, load_dataset
+from repro.adpa import ADPA
+from repro.analysis import summarize_attention
+
+
+def main(dataset_name: str = "chameleon") -> None:
+    graph = load_dataset(dataset_name, seed=0)
+    model = ADPA.from_graph(graph, hidden=64, num_steps=3, seed=0)
+    trainer = Trainer(epochs=150, patience=30)
+    result = trainer.fit(model, graph)
+    print(f"Trained ADPA on {graph.name}: test accuracy {result.test_accuracy:.3f}\n")
+
+    cache = model.preprocess(graph)
+    summary = summarize_attention(model, graph, cache)
+
+    print("Hop attention (average weight per propagation step):")
+    for step, weight in enumerate(summary["hop_distribution"], start=1):
+        print(f"  step {step}: {weight:.3f}")
+    print(f"Mean effective receptive depth: {summary['mean_receptive_depth']:.2f}\n")
+
+    print("Hop attention per class:")
+    for cls, row in enumerate(summary["hop_distribution_per_class"]):
+        formatted = ", ".join(f"{weight:.3f}" for weight in row)
+        print(f"  class {cls}: [{formatted}]")
+
+    print("\nDP attention (average weight per directed pattern):")
+    for name, weight in sorted(summary["dp_distribution"].items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<8s} {weight:.3f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "chameleon")

@@ -1,0 +1,57 @@
+"""Heterophilous digraph case study: compare modeling choices on one dataset.
+
+Usage::
+
+    python examples/heterophily_pipeline.py [dataset-name]
+
+For a heterophilous, strongly directional dataset (default: ``squirrel``)
+the script contrasts four strategies the paper discusses:
+
+1. coarse undirected transformation + a classic undirected GNN (GCN);
+2. coarse undirected transformation + a heterophily-aware undirected GNN
+   (GPR-GNN);
+3. the natural digraph + a directed GNN (DirGNN);
+4. the natural digraph + ADPA (the paper's proposal).
+
+The expected shape (who wins) follows Table IV: directed modeling beats the
+undirected transformations, and ADPA is the strongest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Trainer, load_dataset
+from repro.amud import amud_decide
+from repro.graph import to_undirected
+from repro.training import run_single
+
+
+def main(dataset_name: str = "squirrel") -> None:
+    graph = load_dataset(dataset_name, seed=0)
+    decision = amud_decide(graph)
+    print(f"{graph.name}: AMUD score {decision.score:.3f} -> model as {decision.modeling}\n")
+
+    trainer = Trainer(epochs=150, patience=30)
+    undirected = to_undirected(graph)
+    strategies = [
+        ("U- GCN      (coarse undirected + homophilous GNN)", "GCN", undirected, {}),
+        ("U- GPR-GNN  (coarse undirected + heterophily GNN)", "GPRGNN", undirected, {}),
+        ("D- DirGNN   (natural digraph + directed GNN)", "DirGNN", graph, {}),
+        ("D- ADPA     (natural digraph + proposed model)", "ADPA", graph,
+         {"hidden": 64, "num_steps": 3}),
+    ]
+    results = []
+    for label, model_name, data, kwargs in strategies:
+        run = run_single(model_name, data, seed=0, trainer=trainer, model_kwargs=kwargs)
+        results.append((label, run.test_accuracy))
+        print(f"{label:<55s} test accuracy {run.test_accuracy:.3f}")
+
+    best = max(results, key=lambda item: item[1])
+    print(f"\nBest strategy: {best[0]} ({best[1]:.3f})")
+    print("Directed modeling should clearly beat the undirected transformations here, "
+          "matching the paper's Table IV / Fig. 2 observations.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "squirrel")

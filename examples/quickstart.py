@@ -1,0 +1,51 @@
+"""Quickstart: run the full AMUD → ADPA workflow on one dataset.
+
+Usage::
+
+    python examples/quickstart.py [dataset-name]
+
+The script loads a calibrated synthetic stand-in for one of the paper's
+benchmarks (default: ``chameleon``), runs AMUD to decide whether to keep the
+directed edges, trains the model the guidance selects, and reports the test
+accuracy alongside the homophily profile of the data.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AmudPipeline, Trainer, load_dataset
+from repro.amud import amud_decide
+from repro.metrics import homophily_report
+
+
+def main(dataset_name: str = "chameleon") -> None:
+    graph = load_dataset(dataset_name, seed=0)
+    print(f"Loaded {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} directed edges, "
+          f"{graph.num_features} features, {graph.num_classes} classes")
+
+    report = homophily_report(graph)
+    print("Homophily profile:")
+    for metric, value in report.items():
+        print(f"  {metric:<22s} {value:+.3f}")
+
+    decision = amud_decide(graph)
+    print(f"\nAMUD guidance score S = {decision.score:.3f} (threshold {decision.threshold})")
+    print(f"AMUD says: model this graph as *{decision.modeling}*")
+    print("Per-pattern R²:", {name: round(value, 4) for name, value in decision.r_squared.items()})
+
+    pipeline = AmudPipeline(
+        undirected_model="GPRGNN",
+        directed_model="ADPA",
+        trainer=Trainer(epochs=150, patience=30),
+        model_kwargs={"directed": {"hidden": 64, "num_steps": 3}},
+    )
+    result = pipeline.fit(graph)
+    print(f"\nTrained {result.model_name} on the {result.decision.modeling} view")
+    print(f"Validation accuracy: {result.train_result.val_accuracy:.3f}")
+    print(f"Test accuracy:       {result.train_result.test_accuracy:.3f}")
+    print(f"Best epoch:          {result.train_result.best_epoch}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "chameleon")

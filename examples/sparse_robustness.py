@@ -1,0 +1,51 @@
+"""Sparsity robustness study (paper Fig. 7) on one dataset.
+
+Usage::
+
+    python examples/sparse_robustness.py [dataset-name]
+
+Retrains a small model suite under increasing feature, edge and label
+sparsity and prints one table per sparsity kind.  The expected shape is the
+paper's: ADPA and DirGNN degrade gracefully because propagation lets nodes
+recover information from their (directed) neighbourhood, while feature-heavy
+models (LINKX / A2DUG) collapse under feature sparsity and spectral models
+suffer most from missing features.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Trainer, load_dataset
+from repro.training import format_sparsity_table, sparsity_sweep
+
+MODELS = ["ADPA", "DirGNN", "A2DUG", "JacobiConv"]
+MODEL_KWARGS = {"ADPA": {"hidden": 32, "num_steps": 2}}
+
+
+def main(dataset_name: str = "squirrel") -> None:
+    graph = load_dataset(dataset_name, seed=0)
+    trainer = Trainer(epochs=80, patience=20)
+    print(f"Sparsity robustness on {graph.name} ({graph.num_nodes} nodes)\n")
+
+    sweeps = [
+        ("feature", [0.0, 0.3, 0.6, 0.9]),
+        ("edge", [0.0, 0.3, 0.6, 0.9]),
+        ("label", [20, 10, 5, 2]),
+    ]
+    for kind, levels in sweeps:
+        points = sparsity_sweep(
+            MODELS,
+            graph,
+            kind=kind,
+            levels=levels,
+            seeds=(0,),
+            trainer=trainer,
+            model_kwargs=MODEL_KWARGS,
+        )
+        print(format_sparsity_table(points))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "squirrel")

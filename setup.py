@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that the package installs in
+environments without the ``wheel`` package (legacy ``pip install -e .
+--no-use-pep517`` path), which is the situation in the offline
+reproduction environment.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Breaking the Entanglement of Homophily and Heterophily "
+        "in Semi-supervised Node Classification' (AMUD + ADPA, ICDE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

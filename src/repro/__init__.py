@@ -1,0 +1,46 @@
+"""repro — reproduction of "Breaking the Entanglement of Homophily and
+Heterophily in Semi-supervised Node Classification" (AMUD + ADPA, ICDE 2024).
+
+Public API highlights
+---------------------
+* :mod:`repro.graph` — directed graph container, DP operators, generators.
+* :mod:`repro.datasets` — calibrated synthetic stand-ins for the 16 benchmarks.
+* :mod:`repro.amud` — the AMUD guidance score and modeling decision.
+* :mod:`repro.adpa` — the ADPA model (DP propagation + hierarchical attention).
+* :mod:`repro.models` — the baseline GNN zoo (undirected & directed).
+* :mod:`repro.training` — trainer, repeated experiments, sparsity sweeps.
+* :class:`repro.AmudPipeline` — the end-to-end Fig. 1 workflow.
+"""
+
+from . import adpa, amud, analysis, datasets, graph, metrics, models, nn, training
+from .adpa import ADPA
+from .amud import AmudDecision, amud_decide, amud_score, apply_amud
+from .datasets import load_dataset
+from .graph import DirectedGraph
+from .pipeline import AmudPipeline, PipelineResult
+from .training import Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "analysis",
+    "graph",
+    "datasets",
+    "metrics",
+    "amud",
+    "adpa",
+    "models",
+    "training",
+    "DirectedGraph",
+    "load_dataset",
+    "amud_score",
+    "amud_decide",
+    "apply_amud",
+    "AmudDecision",
+    "ADPA",
+    "Trainer",
+    "AmudPipeline",
+    "PipelineResult",
+    "__version__",
+]

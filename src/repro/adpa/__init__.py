@@ -1,0 +1,27 @@
+"""ADPA: Adaptive Directed Pattern Aggregation (paper Sec. IV)."""
+
+from .attention import (
+    DP_ATTENTION_KINDS,
+    HOP_ATTENTION_KINDS,
+    DirectedPatternAttention,
+    HopAttention,
+)
+from .model import ADPA
+from .propagation import (
+    PropagationResult,
+    build_dp_operators,
+    propagate_features,
+    select_operators,
+)
+
+__all__ = [
+    "ADPA",
+    "DirectedPatternAttention",
+    "HopAttention",
+    "DP_ATTENTION_KINDS",
+    "HOP_ATTENTION_KINDS",
+    "PropagationResult",
+    "build_dp_operators",
+    "propagate_features",
+    "select_operators",
+]

@@ -1,0 +1,27 @@
+"""AMUD: Adaptive Modeling of graphs as Undirected or Directed (paper Sec. III)."""
+
+from .correlation import (
+    pattern_correlations,
+    pattern_profile_correlation,
+    pattern_r_squared,
+)
+from .guidance import (
+    AmudDecision,
+    DEFAULT_THRESHOLD,
+    amud_decide,
+    amud_score,
+    apply_amud,
+    guidance_score,
+)
+
+__all__ = [
+    "pattern_profile_correlation",
+    "pattern_correlations",
+    "pattern_r_squared",
+    "AmudDecision",
+    "DEFAULT_THRESHOLD",
+    "guidance_score",
+    "amud_score",
+    "amud_decide",
+    "apply_amud",
+]

@@ -1,0 +1,151 @@
+"""AMUD guidance score and modeling decision (Sec. III-C, Eq. 8, Alg. 1 lines 1-9).
+
+Given the per-pattern coefficients of determination ``R²(G_d, N)``, AMUD
+computes the guidance score
+
+``S = α * sqrt( Σ_{i<j} (R²_i − R²_j)² / C )``
+
+where the sum runs over pairs of distinct DP operators, ``C`` is the number
+of pairs over which the spread is averaged (the paper uses ``C(4, 2) = 6``,
+the pairs among the four 2-order composite operators) and
+``α = 1 / max_i R²_i`` rescales the sparsity-driven small magnitudes.
+``S > θ`` (θ = 0.5 by default) means the directed topology carries
+profile-relevant structure that an undirected transformation would destroy,
+so the graph should stay directed; otherwise it should be undirected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..graph.transforms import to_undirected
+from .correlation import pattern_r_squared
+
+#: Default decision threshold θ from the paper.
+DEFAULT_THRESHOLD = 0.5
+
+#: Number of operator pairs the squared differences are averaged over, the
+#: paper's ``C(4, 2)`` normaliser (the pairs among the 2-order composites).
+DEFAULT_PAIR_NORMALIZER = 6.0
+
+
+def _pattern_order(name: str) -> int:
+    """Word length of a DP operator name, e.g. ``"A"``→1, ``"AAt"``→2."""
+    return name.replace("At", "B").count("A") + name.replace("At", "B").count("B")
+
+
+@dataclass
+class AmudDecision:
+    """Outcome of running AMUD on one graph."""
+
+    score: float
+    keep_directed: bool
+    threshold: float
+    r_squared: Dict[str, float] = field(default_factory=dict)
+    correlations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def modeling(self) -> str:
+        """``"directed"`` (AMDirected) or ``"undirected"`` (AMUndirected)."""
+        return "directed" if self.keep_directed else "undirected"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AmudDecision(score={self.score:.3f}, modeling={self.modeling!r}, "
+            f"threshold={self.threshold})"
+        )
+
+
+def guidance_score(
+    r_squared: Dict[str, float],
+    pair_normalizer: Optional[float] = DEFAULT_PAIR_NORMALIZER,
+) -> float:
+    """Evaluate Eq. (8) from a dict of per-pattern R² values.
+
+    The squared differences are taken between DP operators of the *same*
+    order (``A`` vs ``Aᵀ``, and among ``AA, AᵀAᵀ, AAᵀ, AᵀA``, …): only those
+    contrasts isolate the effect of edge direction.  Mixing orders would
+    conflate directionality with the natural decay of correlation at longer
+    ranges, which is not what the guidance is about.
+    """
+    values = list(r_squared.values())
+    if len(values) < 2:
+        return 0.0
+    max_value = max(values)
+    if max_value <= 0:
+        return 0.0
+    alpha = 1.0 / max_value
+
+    by_order: Dict[int, list] = {}
+    for name, value in r_squared.items():
+        by_order.setdefault(_pattern_order(name), []).append(value)
+    squared_differences = []
+    for group in by_order.values():
+        squared_differences.extend(
+            (a - b) ** 2 for a, b in itertools.combinations(group, 2)
+        )
+    if not squared_differences:
+        return 0.0
+    if pair_normalizer is None:
+        pair_normalizer = float(len(squared_differences))
+    spread = math.sqrt(sum(squared_differences) / pair_normalizer)
+    return float(alpha * spread)
+
+
+def amud_score(
+    graph: DirectedGraph,
+    order: int = 2,
+    profile: Union[str, np.ndarray] = "labels",
+    pair_normalizer: Optional[float] = DEFAULT_PAIR_NORMALIZER,
+) -> float:
+    """Compute the AMUD guidance score ``S`` for a graph."""
+    r_squared = pattern_r_squared(graph, order=order, profile=profile)
+    return guidance_score(r_squared, pair_normalizer=pair_normalizer)
+
+
+def amud_decide(
+    graph: DirectedGraph,
+    threshold: float = DEFAULT_THRESHOLD,
+    order: int = 2,
+    profile: Union[str, np.ndarray] = "labels",
+    pair_normalizer: Optional[float] = DEFAULT_PAIR_NORMALIZER,
+) -> AmudDecision:
+    """Run the full AMUD guidance (Alg. 1 lines 1-9) and return the decision."""
+    from .correlation import pattern_correlations
+
+    correlations = pattern_correlations(graph, order=order, profile=profile)
+    r_squared = {name: value ** 2 for name, value in correlations.items()}
+    score = guidance_score(r_squared, pair_normalizer=pair_normalizer)
+    # A graph that is already undirected carries no usable directed signal.
+    keep_directed = bool(score > threshold) and graph.is_directed()
+    return AmudDecision(
+        score=score,
+        keep_directed=keep_directed,
+        threshold=threshold,
+        r_squared=r_squared,
+        correlations=correlations,
+    )
+
+
+def apply_amud(
+    graph: DirectedGraph,
+    threshold: float = DEFAULT_THRESHOLD,
+    order: int = 2,
+    profile: Union[str, np.ndarray] = "labels",
+) -> tuple:
+    """Run AMUD and return ``(modeled_graph, decision)``.
+
+    ``modeled_graph`` is the original graph when the decision is to keep
+    directed edges and its coarse undirected transformation otherwise — the
+    two outputs named AMDirected / AMUndirected in Fig. 1.
+    """
+    decision = amud_decide(graph, threshold=threshold, order=order, profile=profile)
+    if decision.keep_directed:
+        return graph, decision
+    return to_undirected(graph), decision

@@ -1,0 +1,25 @@
+"""Analysis utilities: runtime profiling and attention inspection."""
+
+from .attention import (
+    dp_attention_distribution,
+    effective_receptive_depth,
+    hop_attention_distribution,
+    summarize_attention,
+)
+from .efficiency import (
+    ModelProfile,
+    efficiency_report,
+    format_efficiency_table,
+    profile_model,
+)
+
+__all__ = [
+    "ModelProfile",
+    "profile_model",
+    "efficiency_report",
+    "format_efficiency_table",
+    "hop_attention_distribution",
+    "dp_attention_distribution",
+    "effective_receptive_depth",
+    "summarize_attention",
+]

@@ -1,0 +1,107 @@
+"""Runtime breakdown utilities (paper Sec. IV-D complexity analysis).
+
+ADPA's design argument is that all graph-dependent work happens once, before
+training (``O(kKmf)`` sparse products), so the per-epoch cost is that of an
+MLP.  :func:`profile_model` measures exactly that split — preprocessing
+time, per-epoch training time and parameter count — for any registered
+model, and :func:`efficiency_report` tabulates it across a model list so the
+decoupled-vs-coupled trade-off can be inspected empirically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..models.registry import create_model, get_spec
+from ..nn import Adam
+from ..nn import functional as F
+
+
+@dataclass
+class ModelProfile:
+    """Timing and size profile of one model on one graph."""
+
+    model: str
+    dataset: str
+    preprocess_seconds: float
+    seconds_per_epoch: float
+    num_parameters: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "preprocess_s": round(self.preprocess_seconds, 4),
+            "epoch_s": round(self.seconds_per_epoch, 4),
+            "parameters": self.num_parameters,
+        }
+
+
+def profile_model(
+    model_name: str,
+    graph: DirectedGraph,
+    num_epochs: int = 5,
+    model_kwargs: Optional[Dict] = None,
+    seed: int = 0,
+) -> ModelProfile:
+    """Measure preprocessing time and per-epoch cost of one model."""
+    if num_epochs < 1:
+        raise ValueError(f"num_epochs must be >= 1, got {num_epochs}")
+    kwargs = dict(model_kwargs or {})
+    kwargs.setdefault("seed", seed)
+    model = create_model(model_name, graph, **kwargs)
+
+    start = time.perf_counter()
+    cache = model.preprocess(graph)
+    preprocess_seconds = time.perf_counter() - start
+
+    optimizer = Adam(model.parameters(), lr=0.01)
+    labels = graph.labels
+    mask = graph.train_mask if graph.train_mask is not None else np.ones(graph.num_nodes, dtype=bool)
+
+    model.train()
+    start = time.perf_counter()
+    for _ in range(num_epochs):
+        optimizer.zero_grad()
+        loss = F.cross_entropy(model.forward(cache), labels, mask)
+        loss.backward()
+        optimizer.step()
+    seconds_per_epoch = (time.perf_counter() - start) / num_epochs
+
+    return ModelProfile(
+        model=get_spec(model_name).name,
+        dataset=graph.name,
+        preprocess_seconds=preprocess_seconds,
+        seconds_per_epoch=seconds_per_epoch,
+        num_parameters=model.num_parameters(),
+    )
+
+
+def efficiency_report(
+    model_names: Iterable[str],
+    graph: DirectedGraph,
+    num_epochs: int = 5,
+    model_kwargs: Optional[Dict[str, Dict]] = None,
+) -> List[ModelProfile]:
+    """Profile several models on the same graph."""
+    model_kwargs = model_kwargs or {}
+    return [
+        profile_model(name, graph, num_epochs=num_epochs, model_kwargs=model_kwargs.get(name))
+        for name in model_names
+    ]
+
+
+def format_efficiency_table(profiles: List[ModelProfile]) -> str:
+    """Render profiles as a fixed-width table."""
+    lines = [f"{'model':<12s}{'preprocess s':>14s}{'s / epoch':>12s}{'parameters':>12s}"]
+    for profile in profiles:
+        lines.append(
+            f"{profile.model:<12s}{profile.preprocess_seconds:>14.4f}"
+            f"{profile.seconds_per_epoch:>12.4f}{profile.num_parameters:>12d}"
+        )
+    return "\n".join(lines)

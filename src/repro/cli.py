@@ -1,0 +1,145 @@
+"""Command-line interface for the reproduction.
+
+Three sub-commands cover the everyday workflows:
+
+``python -m repro.cli amud <dataset>``
+    Print the homophily profile, per-pattern R² and AMUD decision.
+
+``python -m repro.cli train <dataset> --model ADPA``
+    Train one model (default: the AMUD pipeline's choice) and report
+    accuracies.
+
+``python -m repro.cli datasets``
+    List the registered benchmark stand-ins with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .amud import amud_decide
+from .datasets import dataset_config, list_datasets, load_dataset
+from .graph import to_undirected
+from .metrics import edge_homophily, homophily_report
+from .models import available_models, get_spec
+from .pipeline import AmudPipeline
+from .training import Trainer, run_single
+
+
+def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", choices=list_datasets(), help="benchmark stand-in to use")
+    parser.add_argument("--seed", type=int, default=0, help="generator / split seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AMUD + ADPA reproduction (ICDE 2024) command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    amud_parser = subparsers.add_parser("amud", help="run AMUD guidance on a dataset")
+    _add_dataset_argument(amud_parser)
+    amud_parser.add_argument("--threshold", type=float, default=0.5, help="decision threshold θ")
+
+    train_parser = subparsers.add_parser("train", help="train a model on a dataset")
+    _add_dataset_argument(train_parser)
+    train_parser.add_argument(
+        "--model",
+        default="pipeline",
+        help="registered model name, or 'pipeline' for the AMUD-guided workflow",
+    )
+    train_parser.add_argument("--epochs", type=int, default=200)
+    train_parser.add_argument("--patience", type=int, default=30)
+    train_parser.add_argument("--lr", type=float, default=0.01)
+    train_parser.add_argument("--weight-decay", type=float, default=5e-4)
+    train_parser.add_argument("--hidden", type=int, default=64)
+    train_parser.add_argument(
+        "--undirected", action="store_true",
+        help="feed the coarse undirected transformation instead of the natural digraph",
+    )
+
+    subparsers.add_parser("datasets", help="list registered datasets")
+    models_parser = subparsers.add_parser("models", help="list registered models")
+    models_parser.add_argument("--category", default=None, help="filter by registry category")
+    return parser
+
+
+def _command_amud(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    decision = amud_decide(graph, threshold=args.threshold)
+    print(f"dataset: {graph.name}  nodes={graph.num_nodes}  edges={graph.num_edges}")
+    for metric, value in homophily_report(graph).items():
+        print(f"  {metric:<22s} {value:+.3f}")
+    print("per-pattern R²:")
+    for name, value in decision.r_squared.items():
+        print(f"  {name:<6s} {value:.5f}")
+    print(f"guidance score S = {decision.score:.3f} (threshold {decision.threshold})")
+    print(f"decision: model as {decision.modeling}")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    trainer = Trainer(
+        lr=args.lr, weight_decay=args.weight_decay, epochs=args.epochs, patience=args.patience
+    )
+    if args.model == "pipeline":
+        pipeline = AmudPipeline(
+            undirected_model="GPRGNN",
+            directed_model="ADPA",
+            trainer=trainer,
+            model_kwargs={"directed": {"hidden": args.hidden}},
+        )
+        result = pipeline.fit(graph)
+        print(f"AMUD score {result.decision.score:.3f} -> {result.decision.modeling}")
+        print(f"model: {result.model_name}")
+        print(f"val accuracy:  {result.train_result.val_accuracy:.4f}")
+        print(f"test accuracy: {result.train_result.test_accuracy:.4f}")
+        return 0
+
+    get_spec(args.model)  # raises KeyError for unknown names
+    view = to_undirected(graph) if args.undirected else graph
+    model_kwargs = {} if args.model.lower() == "sgc" else {"hidden": args.hidden}
+    result = run_single(args.model, view, seed=args.seed, trainer=trainer, model_kwargs=model_kwargs)
+    print(f"model: {args.model}  input: {'U-' if args.undirected else 'D-'}{graph.name}")
+    print(f"val accuracy:  {result.val_accuracy:.4f}")
+    print(f"test accuracy: {result.test_accuracy:.4f}")
+    print(f"best epoch:    {result.best_epoch} / {result.epochs_run}")
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    print(f"{'name':<18s}{'nodes':>7s}{'classes':>9s}{'E.Homo target':>15s}{'regime':>12s}")
+    for name in list_datasets():
+        config = dataset_config(name)
+        print(
+            f"{name:<18s}{config.num_nodes:>7d}{config.num_classes:>9d}"
+            f"{config.homophily:>15.2f}{config.amud_regime:>12s}"
+        )
+    return 0
+
+
+def _command_models(args: argparse.Namespace) -> int:
+    for name in available_models(args.category):
+        spec = get_spec(name)
+        print(f"{spec.name:<12s} {spec.category}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "amud": _command_amud,
+        "train": _command_train,
+        "datasets": _command_datasets,
+        "models": _command_models,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Calibrated synthetic stand-ins for the paper's 16 benchmark datasets."""
+
+from .registry import (
+    FIGURE2_DATASETS,
+    TABLE3_DATASETS,
+    TABLE4_DATASETS,
+    TABLE5_DATASETS,
+    heterophilous_datasets,
+    homophilous_datasets,
+    list_datasets,
+    load_group,
+)
+from .synthetic import DATASET_CONFIGS, DatasetConfig, dataset_config, load_dataset
+
+__all__ = [
+    "DatasetConfig",
+    "DATASET_CONFIGS",
+    "dataset_config",
+    "load_dataset",
+    "list_datasets",
+    "homophilous_datasets",
+    "heterophilous_datasets",
+    "load_group",
+    "TABLE3_DATASETS",
+    "TABLE4_DATASETS",
+    "TABLE5_DATASETS",
+    "FIGURE2_DATASETS",
+]

@@ -1,0 +1,221 @@
+"""Synthetic, calibrated stand-ins for the paper's 16 benchmark datasets.
+
+The public benchmarks are unavailable offline, so each dataset in Table II
+is replaced by a directed stochastic block model whose generator parameters
+are calibrated to the statistics the paper's analysis depends on:
+
+* edge homophily (``homophily``) matches the paper's reported E.Homo;
+* the AMUD regime (AMUndirected vs AMDirected) is reproduced through the
+  ``directional_asymmetry`` knob — datasets the paper flags as AMDirected
+  get strong cyclic directional structure, AMUndirected datasets get weak
+  or no directional structure;
+* node / class counts and split conventions follow Table II, scaled down
+  (capped at a few thousand nodes, feature dimensionality capped at 128)
+  so that the entire benchmark suite trains on a laptop CPU in minutes.
+
+The scale reduction is a documented substitution (see DESIGN.md §2): the
+paper's claims are about topological statistics and relative model
+ordering, both of which are preserved under proportional scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..graph.digraph import DirectedGraph
+from ..graph.generators import DSBMConfig, directed_sbm
+from ..graph.splits import per_class_split, ratio_split
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Calibration recipe for one synthetic benchmark stand-in."""
+
+    name: str
+    num_nodes: int
+    num_classes: int
+    feature_dim: int
+    avg_degree: float
+    homophily: float
+    directional_asymmetry: float
+    feature_signal: float = 1.0
+    class_imbalance: float = 0.0
+    asymmetry_mode: str = "cyclic"
+    #: "per_class" (planetoid-style) or "ratio"
+    split: str = "ratio"
+    split_params: Tuple[float, ...] = (0.48, 0.32)
+    #: the paper's reported regime, used by the registry helpers
+    amud_regime: str = "undirected"
+    description: str = ""
+
+    def build(self, seed: int = 0) -> DirectedGraph:
+        """Generate and split the dataset deterministically."""
+        config = DSBMConfig(
+            num_nodes=self.num_nodes,
+            num_classes=self.num_classes,
+            avg_degree=self.avg_degree,
+            feature_dim=self.feature_dim,
+            homophily=self.homophily,
+            directional_asymmetry=self.directional_asymmetry,
+            feature_signal=self.feature_signal,
+            class_imbalance=self.class_imbalance,
+            asymmetry_mode=self.asymmetry_mode,
+            name=self.name,
+        )
+        graph = directed_sbm(config, seed=seed)
+        graph.meta["amud_regime"] = self.amud_regime
+        graph.meta["description"] = self.description
+        if self.split == "per_class":
+            train_per_class, num_val = int(self.split_params[0]), int(self.split_params[1])
+            return per_class_split(graph, train_per_class=train_per_class, num_val=num_val, seed=seed)
+        train_ratio, val_ratio = self.split_params
+        return ratio_split(graph, train_ratio=train_ratio, val_ratio=val_ratio, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Calibrated configurations, one per row of Table II.
+#
+# Node counts are scaled down for the large datasets (originals in comments);
+# homophily targets the paper's E.Homo column; directional_asymmetry encodes
+# the AMUD regime (low → AMUndirected score < 0.5, high → AMDirected > 0.5).
+# --------------------------------------------------------------------------- #
+DATASET_CONFIGS: Dict[str, DatasetConfig] = {
+    config.name: config
+    for config in [
+        # ----- homophilous / AMUndirected (Table III) -----
+        DatasetConfig(
+            name="coraml",  # paper: 2,995 nodes
+            num_nodes=1200, num_classes=7, feature_dim=96, avg_degree=3.0,
+            homophily=0.79, directional_asymmetry=0.10, feature_signal=0.15,
+            split="per_class", split_params=(20, 300),
+            amud_regime="undirected", description="citation network",
+        ),
+        DatasetConfig(
+            name="citeseer",  # paper: 3,312 nodes
+            num_nodes=1100, num_classes=6, feature_dim=96, avg_degree=1.8,
+            homophily=0.74, directional_asymmetry=0.08, feature_signal=0.12,
+            split="per_class", split_params=(20, 300),
+            amud_regime="undirected", description="citation network",
+        ),
+        DatasetConfig(
+            name="pubmed",  # paper: 19,717 nodes
+            num_nodes=1500, num_classes=3, feature_dim=64, avg_degree=4.5,
+            homophily=0.80, directional_asymmetry=0.0, feature_signal=0.15,
+            split="per_class", split_params=(20, 300),
+            amud_regime="undirected", description="citation network (naturally undirected)",
+        ),
+        DatasetConfig(
+            name="tolokers",  # paper: 11,758 nodes
+            num_nodes=1000, num_classes=2, feature_dim=10, avg_degree=20.0,
+            homophily=0.60, directional_asymmetry=0.15, feature_signal=0.12,
+            split="ratio", split_params=(0.5, 0.25),
+            amud_regime="undirected", description="crowd-sourcing network",
+        ),
+        DatasetConfig(
+            name="wikics",  # paper: 11,701 nodes
+            num_nodes=1200, num_classes=10, feature_dim=96, avg_degree=12.0,
+            homophily=0.69, directional_asymmetry=0.12, feature_signal=0.15,
+            split="ratio", split_params=(0.1, 0.2),
+            amud_regime="undirected", description="web-link network",
+        ),
+        DatasetConfig(
+            name="amazon-computers",  # paper: 13,752 nodes
+            num_nodes=1300, num_classes=10, feature_dim=96, avg_degree=10.0,
+            homophily=0.79, directional_asymmetry=0.10, feature_signal=0.18,
+            split="per_class", split_params=(20, 300),
+            amud_regime="undirected", description="co-purchase network",
+        ),
+        DatasetConfig(
+            name="ogbn-arxiv",  # paper: 169,343 nodes
+            num_nodes=2000, num_classes=20, feature_dim=96, avg_degree=7.0,
+            homophily=0.65, directional_asymmetry=0.25, feature_signal=0.15,
+            split="ratio", split_params=(0.54, 0.18),
+            amud_regime="undirected", description="citation network (scaled down)",
+        ),
+        # ----- heterophilous / AMDirected (Table IV) -----
+        DatasetConfig(
+            name="genius",  # paper: 421,961 nodes; homophilous yet AMDirected
+            num_nodes=1800, num_classes=2, feature_dim=12, avg_degree=2.5,
+            homophily=0.62, directional_asymmetry=0.95, feature_signal=0.20,
+            asymmetry_mode="hierarchy",
+            split="ratio", split_params=(0.5, 0.25),
+            amud_regime="directed", description="social network",
+        ),
+        DatasetConfig(
+            name="texas",
+            num_nodes=183, num_classes=5, feature_dim=96, avg_degree=1.6,
+            homophily=0.06, directional_asymmetry=0.92, feature_signal=0.30,
+            class_imbalance=0.5,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="directed", description="web-page network (WebKB)",
+        ),
+        DatasetConfig(
+            name="cornell",
+            num_nodes=183, num_classes=5, feature_dim=96, avg_degree=1.7,
+            homophily=0.12, directional_asymmetry=0.88, feature_signal=0.30,
+            class_imbalance=0.5,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="directed", description="web-page network (WebKB)",
+        ),
+        DatasetConfig(
+            name="wisconsin",
+            num_nodes=251, num_classes=5, feature_dim=96, avg_degree=1.8,
+            homophily=0.18, directional_asymmetry=0.85, feature_signal=0.30,
+            class_imbalance=0.5,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="directed", description="web-page network (WebKB)",
+        ),
+        DatasetConfig(
+            name="chameleon",
+            num_nodes=890, num_classes=5, feature_dim=96, avg_degree=8.0,
+            homophily=0.25, directional_asymmetry=0.85, feature_signal=0.10,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="directed", description="wiki-page network (filtered)",
+        ),
+        DatasetConfig(
+            name="squirrel",
+            num_nodes=1200, num_classes=5, feature_dim=96, avg_degree=10.0,
+            homophily=0.22, directional_asymmetry=0.88, feature_signal=0.08,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="directed", description="wiki-page network (filtered)",
+        ),
+        DatasetConfig(
+            name="roman-empire",  # paper: 22,662 nodes
+            num_nodes=1600, num_classes=10, feature_dim=96, avg_degree=1.5,
+            homophily=0.05, directional_asymmetry=0.92, feature_signal=0.25,
+            split="ratio", split_params=(0.5, 0.25),
+            amud_regime="directed", description="article syntax network (scaled down)",
+        ),
+        # ----- heterophilous yet AMUndirected (Table V "abnormal" cases) -----
+        DatasetConfig(
+            name="actor",
+            num_nodes=1400, num_classes=5, feature_dim=96, avg_degree=3.5,
+            homophily=0.22, directional_asymmetry=0.05, feature_signal=0.35,
+            split="ratio", split_params=(0.48, 0.32),
+            amud_regime="undirected", description="actor co-occurrence network",
+        ),
+        DatasetConfig(
+            name="amazon-rating",  # paper: 24,492 nodes
+            num_nodes=1500, num_classes=5, feature_dim=96, avg_degree=3.8,
+            homophily=0.38, directional_asymmetry=0.05, feature_signal=0.30,
+            split="ratio", split_params=(0.5, 0.25),
+            amud_regime="undirected", description="rating network (scaled down)",
+        ),
+    ]
+}
+
+
+def load_dataset(name: str, seed: int = 0) -> DirectedGraph:
+    """Build the calibrated synthetic stand-in for a named benchmark."""
+    key = name.lower()
+    if key not in DATASET_CONFIGS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_CONFIGS)}")
+    return DATASET_CONFIGS[key].build(seed=seed)
+
+
+def dataset_config(name: str) -> DatasetConfig:
+    key = name.lower()
+    if key not in DATASET_CONFIGS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_CONFIGS)}")
+    return DATASET_CONFIGS[key]

@@ -1,0 +1,24 @@
+"""Evaluation metrics: homophily measures and classification quality."""
+
+from .classification import accuracy, confusion_matrix, macro_f1, summarize_runs
+from .homophily import (
+    adjusted_homophily,
+    class_homophily,
+    edge_homophily,
+    homophily_report,
+    label_informativeness,
+    node_homophily,
+)
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "macro_f1",
+    "summarize_runs",
+    "node_homophily",
+    "edge_homophily",
+    "class_homophily",
+    "adjusted_homophily",
+    "label_informativeness",
+    "homophily_report",
+]

@@ -1,0 +1,80 @@
+"""Node-classification quality metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def accuracy(
+    predictions: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Fraction of correctly classified nodes, optionally restricted to a mask."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} does not match label shape {labels.shape}"
+        )
+    if mask is not None:
+        mask = np.asarray(mask)
+        indices = np.flatnonzero(mask) if mask.dtype == bool else mask
+        predictions = predictions[indices]
+        labels = labels[indices]
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Dense ``(c, c)`` confusion matrix with true classes on rows."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), labels.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if mask is not None:
+        mask = np.asarray(mask)
+        indices = np.flatnonzero(mask) if mask.dtype == bool else mask
+        predictions = predictions[indices]
+        labels = labels[indices]
+    if predictions.size == 0:
+        return 0.0
+    matrix = confusion_matrix(predictions, labels)
+    f1_scores = []
+    for cls in range(matrix.shape[0]):
+        true_positive = matrix[cls, cls]
+        predicted = matrix[:, cls].sum()
+        actual = matrix[cls, :].sum()
+        if actual == 0:
+            continue
+        precision = true_positive / predicted if predicted > 0 else 0.0
+        recall = true_positive / actual
+        if precision + recall == 0:
+            f1_scores.append(0.0)
+        else:
+            f1_scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1_scores)) if f1_scores else 0.0
+
+
+def summarize_runs(accuracies) -> Dict[str, float]:
+    """Mean / std summary used when repeating an experiment over seeds."""
+    values = np.asarray(list(accuracies), dtype=np.float64)
+    if values.size == 0:
+        return {"mean": 0.0, "std": 0.0, "count": 0}
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "count": int(values.size),
+    }

@@ -1,0 +1,156 @@
+"""Homophily measures (Sec. II-B of the paper, reproduced for Table I/II).
+
+Five measures are implemented, each accepting either a
+:class:`~repro.graph.DirectedGraph` or a raw ``(adjacency, labels)`` pair:
+
+* ``node_homophily`` — per-node fraction of same-class neighbours,
+  averaged over nodes (H_node, Pei et al. 2020);
+* ``edge_homophily`` — fraction of edges joining same-class endpoints
+  (H_edge, Zhu et al. 2020);
+* ``class_homophily`` — class-normalised excess homophily (H_class,
+  Lim et al. 2021);
+* ``adjusted_homophily`` — degree-corrected edge homophily (H_adj,
+  Platonov et al. 2023);
+* ``label_informativeness`` — normalised mutual information between the
+  labels of edge endpoints (LI, Platonov et al. 2023).
+
+All of them operate on the *directed* adjacency as given; callers that want
+the undirected variant pass ``to_undirected(graph)`` first, which is exactly
+how Table I contrasts the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.digraph import DirectedGraph
+
+GraphLike = Union[DirectedGraph, Tuple[sp.spmatrix, np.ndarray]]
+
+
+def _unpack(graph: GraphLike) -> Tuple[sp.csr_matrix, np.ndarray]:
+    if isinstance(graph, DirectedGraph):
+        return graph.adjacency.tocsr(), graph.labels
+    adjacency, labels = graph
+    return sp.csr_matrix(adjacency), np.asarray(labels, dtype=np.int64)
+
+
+def _edge_endpoints(adjacency: sp.csr_matrix) -> Tuple[np.ndarray, np.ndarray]:
+    coo = adjacency.tocoo()
+    mask = coo.row != coo.col
+    return coo.row[mask], coo.col[mask]
+
+
+def edge_homophily(graph: GraphLike) -> float:
+    """Fraction of edges whose endpoints share a class (H_edge)."""
+    adjacency, labels = _unpack(graph)
+    rows, cols = _edge_endpoints(adjacency)
+    if rows.size == 0:
+        return 0.0
+    return float(np.mean(labels[rows] == labels[cols]))
+
+
+def node_homophily(graph: GraphLike) -> float:
+    """Average per-node fraction of same-class out-neighbours (H_node)."""
+    adjacency, labels = _unpack(graph)
+    rows, cols = _edge_endpoints(adjacency)
+    if rows.size == 0:
+        return 0.0
+    same = (labels[rows] == labels[cols]).astype(np.float64)
+    num_nodes = adjacency.shape[0]
+    same_per_node = np.bincount(rows, weights=same, minlength=num_nodes)
+    degree_per_node = np.bincount(rows, minlength=num_nodes).astype(np.float64)
+    has_neighbours = degree_per_node > 0
+    if not has_neighbours.any():
+        return 0.0
+    return float(np.mean(same_per_node[has_neighbours] / degree_per_node[has_neighbours]))
+
+
+def class_homophily(graph: GraphLike) -> float:
+    """Class-insensitive edge homophily (H_class, Lim et al. 2021).
+
+    For each class the per-class edge homophily is compared against the
+    class's share of nodes; only the positive excess counts, averaged over
+    classes.
+    """
+    adjacency, labels = _unpack(graph)
+    rows, cols = _edge_endpoints(adjacency)
+    if rows.size == 0:
+        return 0.0
+    num_nodes = adjacency.shape[0]
+    num_classes = int(labels.max()) + 1
+    class_share = np.bincount(labels, minlength=num_classes) / num_nodes
+    total = 0.0
+    for cls in range(num_classes):
+        from_cls = labels[rows] == cls
+        if not from_cls.any():
+            continue
+        h_cls = np.mean(labels[cols][from_cls] == cls)
+        total += max(0.0, h_cls - class_share[cls])
+    return float(total / max(num_classes - 1, 1))
+
+
+def adjusted_homophily(graph: GraphLike) -> float:
+    """Degree-corrected edge homophily (H_adj, Platonov et al. 2023).
+
+    ``H_adj = (H_edge - Σ_c p_c²) / (1 - Σ_c p_c²)`` where ``p_c`` is the
+    fraction of edge endpoints (degree-weighted) belonging to class ``c``.
+    Values can be negative for strongly heterophilous graphs.
+    """
+    adjacency, labels = _unpack(graph)
+    rows, cols = _edge_endpoints(adjacency)
+    if rows.size == 0:
+        return 0.0
+    num_classes = int(labels.max()) + 1
+    h_edge = float(np.mean(labels[rows] == labels[cols]))
+    endpoint_labels = np.concatenate([labels[rows], labels[cols]])
+    p = np.bincount(endpoint_labels, minlength=num_classes) / endpoint_labels.size
+    expected = float(np.sum(p ** 2))
+    denominator = 1.0 - expected
+    if denominator <= 0:
+        return 0.0
+    return float((h_edge - expected) / denominator)
+
+
+def label_informativeness(graph: GraphLike) -> float:
+    """Label informativeness LI (Platonov et al. 2023).
+
+    ``LI = 2 - H(y_u, y_v) / H(y)`` computed from the joint distribution of
+    endpoint labels over edges; equals 1 when an endpoint label fully
+    determines the other and 0 when endpoints are independent.
+    """
+    adjacency, labels = _unpack(graph)
+    rows, cols = _edge_endpoints(adjacency)
+    if rows.size == 0:
+        return 0.0
+    num_classes = int(labels.max()) + 1
+    joint = np.zeros((num_classes, num_classes), dtype=np.float64)
+    np.add.at(joint, (labels[rows], labels[cols]), 1.0)
+    # Symmetrise so that LI does not depend on edge orientation conventions.
+    joint = joint + joint.T
+    joint /= joint.sum()
+    marginal = joint.sum(axis=1)
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    h_marginal = entropy(marginal)
+    if h_marginal == 0:
+        return 0.0
+    h_joint = entropy(joint.ravel())
+    return float(2.0 - h_joint / h_marginal)
+
+
+def homophily_report(graph: GraphLike) -> Dict[str, float]:
+    """Compute all five measures at once (one row of Table I)."""
+    return {
+        "node": node_homophily(graph),
+        "edge": edge_homophily(graph),
+        "class": class_homophily(graph),
+        "adjusted": adjusted_homophily(graph),
+        "label_informativeness": label_informativeness(graph),
+    }

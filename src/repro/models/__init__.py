@@ -1,0 +1,69 @@
+"""Baseline node-classification models (the paper's Sec. V-A zoo)."""
+
+from .a2dug import A2DUG
+from .aerognn import AeroGNN
+from .base import NodeClassifier
+from .bernnet import BernNet
+from .dgcn import DGCN
+from .digcn import DiGCN
+from .dimpa import DIMPA
+from .dirgnn import DirGNN
+from .gcn import GCN
+from .gcnii import GCNII
+from .glognn import GloGNN
+from .gprgnn import GPRGNN
+from .grand import GRAND
+from .jacobiconv import JacobiConv
+from .linkx import LINKX
+from .magnet import MagNet
+from .mlp import MLPClassifier
+from .nste import NSTE
+from .registry import (
+    DIRECTED_SPATIAL,
+    DIRECTED_SPECTRAL,
+    PROPOSED,
+    UNDIRECTED_SPATIAL,
+    UNDIRECTED_SPECTRAL,
+    ModelSpec,
+    available_models,
+    create_model,
+    directed_models,
+    get_spec,
+    register,
+    undirected_models,
+)
+from .sgc import SGC
+
+__all__ = [
+    "NodeClassifier",
+    "MLPClassifier",
+    "GCN",
+    "SGC",
+    "GCNII",
+    "GPRGNN",
+    "GRAND",
+    "LINKX",
+    "GloGNN",
+    "AeroGNN",
+    "BernNet",
+    "JacobiConv",
+    "DGCN",
+    "DirGNN",
+    "NSTE",
+    "DIMPA",
+    "A2DUG",
+    "DiGCN",
+    "MagNet",
+    "ModelSpec",
+    "register",
+    "get_spec",
+    "create_model",
+    "available_models",
+    "undirected_models",
+    "directed_models",
+    "UNDIRECTED_SPATIAL",
+    "UNDIRECTED_SPECTRAL",
+    "DIRECTED_SPATIAL",
+    "DIRECTED_SPECTRAL",
+    "PROPOSED",
+]

@@ -1,0 +1,84 @@
+"""Common contract for every node-classification model in the reproduction.
+
+Each model is a :class:`repro.nn.Module` with two extra responsibilities:
+
+``preprocess(graph)``
+    Compute everything that does not depend on trainable parameters —
+    normalised adjacencies, pre-propagated features, DP operator caches —
+    and return it as a dict.  The trainer calls this exactly once per
+    (model, graph) pair, which is what makes the decoupled models
+    (SGC, ADPA, GPR-GNN, …) cheap: their propagation lives here.
+
+``forward(cache)``
+    Map the cached inputs to ``(n, num_classes)`` logits.  Called every
+    epoch under autograd.
+
+The :class:`repro.training.Trainer` drives fit/early-stopping/evaluation on
+top of this contract, so model files stay focused on the architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..nn import Module, Tensor
+
+
+class NodeClassifier(Module):
+    """Base class for semi-supervised node classifiers.
+
+    Sub-classes must set ``self.num_features`` / ``self.num_classes`` (the
+    constructor does it for them) and implement :meth:`preprocess` and
+    :meth:`forward`.
+    """
+
+    #: whether the model consumes directed adjacencies natively; undirected
+    #: models symmetrise their input inside ``preprocess``.
+    directed: bool = False
+
+    def __init__(self, num_features: int, num_classes: int) -> None:
+        super().__init__()
+        if num_features < 1 or num_classes < 2:
+            raise ValueError(
+                f"invalid dimensions: num_features={num_features}, num_classes={num_classes}"
+            )
+        self.num_features = num_features
+        self.num_classes = num_classes
+
+    # ------------------------------------------------------------------ #
+    # Contract
+    # ------------------------------------------------------------------ #
+    def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
+        """Build the training-independent cache for ``graph``."""
+        raise NotImplementedError
+
+    def forward(self, cache: Dict[str, object]) -> Tensor:
+        """Compute class logits from a cache built by :meth:`preprocess`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Convenience inference helpers
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, graph: DirectedGraph, cache: Optional[Dict[str, object]] = None) -> np.ndarray:
+        """Run a forward pass in eval mode and return raw logits as ndarray."""
+        if cache is None:
+            cache = self.preprocess(graph)
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(cache)
+        finally:
+            self.train(was_training)
+        return logits.numpy()
+
+    def predict(self, graph: DirectedGraph, cache: Optional[Dict[str, object]] = None) -> np.ndarray:
+        """Predicted class index per node."""
+        return self.predict_logits(graph, cache).argmax(axis=1)
+
+    @classmethod
+    def from_graph(cls, graph: DirectedGraph, **kwargs) -> "NodeClassifier":
+        """Instantiate the model with dimensions inferred from ``graph``."""
+        return cls(num_features=graph.num_features, num_classes=graph.num_classes, **kwargs)

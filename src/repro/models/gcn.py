@@ -1,0 +1,61 @@
+"""GCN (Kipf & Welling, 2017) — the canonical homophilous baseline (Eq. 1).
+
+Each layer computes ``X^(l) = σ( Ã X^(l-1) W^(l) )`` with
+``Ã = D^{-1/2} (A + I) D^{-1/2}``.  Being an *undirected* model, the
+adjacency is symmetrised during preprocessing regardless of the input's
+directedness — exactly the "coarse undirected transformation" the paper's
+data-engineering discussion critiques.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..graph.operators import symmetric_normalized_adjacency
+from ..graph.transforms import to_undirected
+from ..nn import Dropout, Linear, Tensor, sparse_matmul
+from .base import NodeClassifier
+
+
+class GCN(NodeClassifier):
+    """Multi-layer graph convolutional network."""
+
+    directed = False
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_features, num_classes)
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        rng = np.random.default_rng(seed)
+        dims = [num_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.layers: List[Linear] = [
+            Linear(dims[i], dims[i + 1], rng=rng) for i in range(num_layers)
+        ]
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
+        undirected = to_undirected(graph)
+        return {
+            "x": Tensor(graph.features),
+            "adj": symmetric_normalized_adjacency(undirected.adjacency),
+        }
+
+    def forward(self, cache: Dict[str, object]) -> Tensor:
+        x, adjacency = cache["x"], cache["adj"]
+        for index, layer in enumerate(self.layers):
+            x = self.dropout(x)
+            x = layer(sparse_matmul(adjacency, x))
+            if index < len(self.layers) - 1:
+                x = x.relu()
+        return x

@@ -1,0 +1,81 @@
+"""JacobiConv (Wang & Zhang, 2022) — Jacobi-polynomial spectral filter.
+
+The propagation matrix ``Ã = D^{-1/2} A D^{-1/2}`` has spectrum in
+``[-1, 1]``; JacobiConv expands the filter in the Jacobi polynomial basis
+``P_k^{(a,b)}(Ã)`` with learnable per-order coefficients.  The Jacobi basis
+generalises Chebyshev (a = b = -1/2) and adapts better to the uneven
+spectral density of real graphs, which is why the paper finds it among the
+strongest undirected spectral baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..graph.operators import symmetric_normalized_adjacency
+from ..graph.transforms import to_undirected
+from ..nn import MLP, Parameter, Tensor, sparse_matmul
+from .base import NodeClassifier
+
+
+class JacobiConv(NodeClassifier):
+    """Spectral GNN with a learnable Jacobi-polynomial filter."""
+
+    directed = False
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden: int = 64,
+        poly_order: int = 4,
+        a: float = 1.0,
+        b: float = 1.0,
+        dropout: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_features, num_classes)
+        if poly_order < 1:
+            raise ValueError(f"poly_order must be >= 1, got {poly_order}")
+        rng = np.random.default_rng(seed)
+        self.poly_order = poly_order
+        self.a = a
+        self.b = b
+        self.mlp = MLP(num_features, hidden, num_classes, num_layers=2, dropout=dropout, rng=rng)
+        decay = np.array([1.0 / (k + 1) for k in range(poly_order + 1)])
+        self.alphas = Parameter(decay)
+
+    def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
+        return {
+            "x": Tensor(graph.features),
+            "adj": symmetric_normalized_adjacency(to_undirected(graph).adjacency, self_loops=False),
+        }
+
+    def _jacobi_bases(self, adjacency, hidden: Tensor) -> List[Tensor]:
+        """Evaluate P_k^{(a,b)}(Ã) · hidden via the three-term recurrence."""
+        a, b = self.a, self.b
+        bases: List[Tensor] = [hidden]
+        if self.poly_order >= 1:
+            first = sparse_matmul(adjacency, hidden) * ((a + b + 2.0) / 2.0) + hidden * ((a - b) / 2.0)
+            bases.append(first)
+        for k in range(2, self.poly_order + 1):
+            c0 = 2.0 * k * (k + a + b) * (2.0 * k + a + b - 2.0)
+            c1 = (2.0 * k + a + b - 1.0) * (2.0 * k + a + b) * (2.0 * k + a + b - 2.0)
+            c2 = (2.0 * k + a + b - 1.0) * (a ** 2 - b ** 2)
+            c3 = 2.0 * (k + a - 1.0) * (k + b - 1.0) * (2.0 * k + a + b)
+            term = sparse_matmul(adjacency, bases[-1]) * (c1 / c0) + bases[-1] * (c2 / c0)
+            term = term - bases[-2] * (c3 / c0)
+            bases.append(term)
+        return bases
+
+    def forward(self, cache: Dict[str, object]) -> Tensor:
+        hidden = self.mlp(cache["x"])
+        bases = self._jacobi_bases(cache["adj"], hidden)
+        output = None
+        for k, basis in enumerate(bases):
+            term = basis * self.alphas[k : k + 1]
+            output = term if output is None else output + term
+        return output

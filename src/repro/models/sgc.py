@@ -1,0 +1,50 @@
+"""SGC (Wu et al., 2019) — simplified graph convolution.
+
+The K-step symmetric propagation is collapsed into preprocessing
+(``X' = ÃᴷX``) and only a linear classifier is trained.  SGC is both a
+baseline in Tables III/IV and the ancestor of ADPA's decoupled design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..graph.operators import symmetric_normalized_adjacency
+from ..graph.transforms import to_undirected
+from ..nn import Dropout, Linear, Tensor
+from .base import NodeClassifier
+
+
+class SGC(NodeClassifier):
+    """Simplified graph convolution: pre-propagation + logistic regression."""
+
+    directed = False
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        num_steps: int = 2,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_features, num_classes)
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be >= 0, got {num_steps}")
+        rng = np.random.default_rng(seed)
+        self.num_steps = num_steps
+        self.linear = Linear(num_features, num_classes, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
+        adjacency = symmetric_normalized_adjacency(to_undirected(graph).adjacency)
+        propagated = graph.features
+        for _ in range(self.num_steps):
+            propagated = adjacency @ propagated
+        return {"x": Tensor(propagated)}
+
+    def forward(self, cache: Dict[str, object]) -> Tensor:
+        return self.linear(self.dropout(cache["x"]))

@@ -1,0 +1,518 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the numerical substrate of the reproduction: every model in
+:mod:`repro.models` and :mod:`repro.adpa` is trained end-to-end through the
+:class:`Tensor` class defined here.  The design mirrors the familiar
+PyTorch semantics at a much smaller scale:
+
+* a :class:`Tensor` wraps a ``numpy.ndarray`` and remembers how it was
+  produced (parent tensors plus a backward closure);
+* calling :meth:`Tensor.backward` on a scalar runs a topological sweep over
+  the recorded graph and accumulates gradients into every tensor created
+  with ``requires_grad=True``;
+* constant sparse matrices (``scipy.sparse``) participate through
+  :func:`sparse_matmul`, which propagates gradients only to the dense
+  operand — exactly what graph propagation needs, because adjacency
+  matrices are never trained.
+
+Broadcasting is supported for elementwise operations; gradients are summed
+back to the original shapes with :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    """Coerce ``value`` into a float ndarray without copying when possible."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape`` after a broadcasted op."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were expanded from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable multi-dimensional array.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` ndarray.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    parents:
+        Tensors this one was computed from (autograd graph edges).
+    backward_fn:
+        Closure mapping the output gradient to per-parent contributions.
+    name:
+        Optional label used in error messages and debugging.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple[Tensor, ...] = tuple(parents)
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+    ) -> "Tensor":
+        requires_grad = any(p.requires_grad for p in parents)
+        if not requires_grad:
+            return Tensor(data, requires_grad=False)
+        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.shape),
+                _unbroadcast(grad, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray):
+            grad_self = grad @ other.data.T if self.requires_grad else None
+            grad_other = self.data.T @ grad if other.requires_grad else None
+            return (grad_self, grad_other)
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (grad.T,)
+
+        return self._make(self.data.T, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original_shape),)
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            grad = np.asarray(grad)
+            if axis is None:
+                return (np.broadcast_to(grad, self.shape).copy(),)
+            expanded = grad if keepdims else np.expand_dims(grad, axis)
+            return (np.broadcast_to(expanded, self.shape).copy(),)
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = (self.data == out_data).astype(self.data.dtype)
+                mask /= mask.sum()
+                return (mask * grad,)
+            expanded_out = out_data if keepdims else np.expand_dims(out_data, axis)
+            expanded_grad = grad if keepdims else np.expand_dims(grad, axis)
+            mask = (self.data == expanded_out).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            return (mask * expanded_grad,)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * out_data,)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (grad / self.data,)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (grad * np.sign(self.data),)
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        positive = self.data > 0
+        scale = np.where(positive, 1.0, negative_slope)
+
+        def backward(grad: np.ndarray):
+            return (grad * scale,)
+
+        return self._make(self.data * scale, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * out_data * (1.0 - out_data),)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - out_data ** 2),)
+
+        return self._make(out_data, (self,), backward)
+
+    def elu(self, alpha: float = 1.0) -> "Tensor":
+        positive = self.data > 0
+        exp_part = alpha * (np.exp(np.minimum(self.data, 0.0)) - 1.0)
+        out_data = np.where(positive, self.data, exp_part)
+
+        def backward(grad: np.ndarray):
+            local = np.where(positive, 1.0, exp_part + alpha)
+            return (grad * local,)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Softmax family (implemented here so they stay numerically stable)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray):
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            return (out_data * (grad - dot),)
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray):
+            return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ``1`` and therefore requires a scalar output,
+        matching the usual loss-driven training loop.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+
+        topo_order: List[Tensor] = []
+        visited = set()
+
+        def visit(node: Tensor) -> None:
+            if id(node) in visited or not node.requires_grad:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo_order.append(node)
+
+        visit(self)
+
+        grads = {id(self): np.asarray(grad, dtype=self.data.dtype)}
+        for node in reversed(topo_order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward_fn is None or not node._parents:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+        # Leaves that are the output itself (no parents) were handled above.
+
+
+# ---------------------------------------------------------------------- #
+# Free functions operating on tensors
+# ---------------------------------------------------------------------- #
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, boundaries, axis=axis)
+        return tuple(pieces)
+
+    requires_grad = any(t.requires_grad for t in tensors)
+    if not requires_grad:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [Tensor._ensure(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(piece, axis=axis) for piece in pieces)
+
+    requires_grad = any(t.requires_grad for t in tensors)
+    if not requires_grad:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+
+
+def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
+    """Multiply a constant sparse matrix by a dense differentiable tensor.
+
+    The sparse operand is treated as a constant (graph structure never
+    receives gradients), which keeps graph propagation cheap: the backward
+    pass is a single transposed sparse multiplication.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy sparse matrix as the first operand")
+    matrix = matrix.tocsr()
+    out_data = matrix @ tensor.data
+
+    def backward(grad: np.ndarray):
+        return (matrix.T @ grad,)
+
+    if not tensor.requires_grad:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select between two tensors based on a boolean mask."""
+    a = Tensor._ensure(a)
+    b = Tensor._ensure(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(grad * condition, a.shape),
+            _unbroadcast(grad * (~condition), b.shape),
+        )
+
+    requires_grad = a.requires_grad or b.requires_grad
+    if not requires_grad:
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:
+    """Convert ``value`` to a :class:`Tensor`, reusing it when already one."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(tuple(shape)), requires_grad=requires_grad)
+
+
+def ones(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(tuple(shape)), requires_grad=requires_grad)

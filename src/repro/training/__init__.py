@@ -1,0 +1,36 @@
+"""Training harness: trainer, repeated experiments and sparsity sweeps."""
+
+from .experiment import (
+    ExperimentResult,
+    average_rank,
+    format_results_table,
+    rank_results,
+    run_model_suite,
+    run_repeated,
+    run_single,
+)
+from .sparsity import (
+    SPARSITY_KINDS,
+    SparsityPoint,
+    apply_sparsity,
+    format_sparsity_table,
+    sparsity_sweep,
+)
+from .trainer import Trainer, TrainResult
+
+__all__ = [
+    "Trainer",
+    "TrainResult",
+    "ExperimentResult",
+    "run_single",
+    "run_repeated",
+    "run_model_suite",
+    "rank_results",
+    "average_rank",
+    "format_results_table",
+    "SparsityPoint",
+    "SPARSITY_KINDS",
+    "apply_sparsity",
+    "sparsity_sweep",
+    "format_sparsity_table",
+]

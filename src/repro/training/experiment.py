@@ -1,0 +1,159 @@
+"""Repeated-trial experiment helpers.
+
+The paper repeats every experiment 10 times and reports mean ± std.  The
+helpers here wrap :class:`repro.training.Trainer` with seed control, model
+construction from the registry, and result aggregation, so the benchmark
+scripts stay declarative: "run these models on these datasets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..metrics.classification import summarize_runs
+from ..models.registry import create_model, get_spec
+from .trainer import Trainer, TrainResult
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated accuracies of one (model, dataset) cell."""
+
+    model: str
+    dataset: str
+    test_mean: float
+    test_std: float
+    val_mean: float
+    runs: List[TrainResult] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "test_mean": round(self.test_mean, 4),
+            "test_std": round(self.test_std, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExperimentResult({self.model} on {self.dataset}: "
+            f"{100 * self.test_mean:.1f}±{100 * self.test_std:.1f})"
+        )
+
+
+def run_single(
+    model_name: str,
+    graph: DirectedGraph,
+    seed: int = 0,
+    trainer: Optional[Trainer] = None,
+    model_kwargs: Optional[Dict] = None,
+) -> TrainResult:
+    """Train one model once on one graph."""
+    trainer = trainer if trainer is not None else Trainer()
+    model_kwargs = dict(model_kwargs or {})
+    model_kwargs.setdefault("seed", seed)
+    model = create_model(model_name, graph, **model_kwargs)
+    return trainer.fit(model, graph)
+
+
+def run_repeated(
+    model_name: str,
+    graph: DirectedGraph,
+    seeds: Sequence[int] = (0, 1, 2),
+    trainer: Optional[Trainer] = None,
+    model_kwargs: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Train one model several times (different seeds) and aggregate."""
+    runs = [
+        run_single(model_name, graph, seed=seed, trainer=trainer, model_kwargs=model_kwargs)
+        for seed in seeds
+    ]
+    test_summary = summarize_runs(run.test_accuracy for run in runs)
+    val_summary = summarize_runs(run.val_accuracy for run in runs)
+    return ExperimentResult(
+        model=get_spec(model_name).name,
+        dataset=graph.name,
+        test_mean=test_summary["mean"],
+        test_std=test_summary["std"],
+        val_mean=val_summary["mean"],
+        runs=runs,
+    )
+
+
+def run_model_suite(
+    model_names: Iterable[str],
+    graph: DirectedGraph,
+    seeds: Sequence[int] = (0, 1, 2),
+    trainer: Optional[Trainer] = None,
+    model_kwargs: Optional[Dict[str, Dict]] = None,
+) -> List[ExperimentResult]:
+    """Run a list of models on one dataset; per-model kwargs are optional."""
+    model_kwargs = model_kwargs or {}
+    results = []
+    for name in model_names:
+        results.append(
+            run_repeated(
+                name,
+                graph,
+                seeds=seeds,
+                trainer=trainer,
+                model_kwargs=model_kwargs.get(name, model_kwargs.get(name.lower())),
+            )
+        )
+    return results
+
+
+def rank_results(results: Sequence[ExperimentResult]) -> Dict[str, float]:
+    """Rank models by mean test accuracy (1 = best), as in the Rank column."""
+    ordered = sorted(results, key=lambda result: result.test_mean, reverse=True)
+    return {result.model: float(rank) for rank, result in enumerate(ordered, start=1)}
+
+
+def average_rank(per_dataset_results: Sequence[Sequence[ExperimentResult]]) -> Dict[str, float]:
+    """Average each model's rank across datasets (the paper's Rank column)."""
+    accumulator: Dict[str, List[float]] = {}
+    for dataset_results in per_dataset_results:
+        ranks = rank_results(dataset_results)
+        for model, rank in ranks.items():
+            accumulator.setdefault(model, []).append(rank)
+    return {model: float(np.mean(ranks)) for model, ranks in accumulator.items()}
+
+
+def format_results_table(
+    per_dataset_results: Dict[str, List[ExperimentResult]],
+    include_rank: bool = True,
+) -> str:
+    """Render results as a fixed-width text table (one row per model)."""
+    datasets = list(per_dataset_results)
+    models: List[str] = []
+    for results in per_dataset_results.values():
+        for result in results:
+            if result.model not in models:
+                models.append(result.model)
+    lookup = {
+        (result.model, dataset): result
+        for dataset, results in per_dataset_results.items()
+        for result in results
+    }
+    ranks = (
+        average_rank(list(per_dataset_results.values())) if include_rank and datasets else {}
+    )
+
+    header = ["Model"] + datasets + (["Rank"] if include_rank else [])
+    lines = ["  ".join(f"{column:>16s}" for column in header)]
+    for model in models:
+        cells = [f"{model:>16s}"]
+        for dataset in datasets:
+            result = lookup.get((model, dataset))
+            if result is None:
+                cells.append(f"{'-':>16s}")
+            else:
+                cells.append(f"{100 * result.test_mean:13.1f}±{100 * result.test_std:.1f}")
+        if include_rank:
+            cells.append(f"{ranks.get(model, float('nan')):>16.1f}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

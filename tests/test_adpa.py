@@ -1,0 +1,207 @@
+"""Tests for ADPA: propagation, the two attention levels, and the full model."""
+
+import numpy as np
+import pytest
+
+from repro.adpa import (
+    ADPA,
+    DirectedPatternAttention,
+    HopAttention,
+    PropagationResult,
+    build_dp_operators,
+    propagate_features,
+    select_operators,
+)
+from repro.nn import Tensor
+from repro.training import Trainer
+
+
+class TestPropagation:
+    def test_operator_dictionary(self, heterophilous_graph):
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        assert set(operators) == {"A", "At", "AA", "AtAt", "AAt", "AtA"}
+        for matrix in operators.values():
+            np.testing.assert_allclose(np.asarray(matrix.sum(axis=1)).ravel(), 1.0)
+
+    def test_propagation_shapes(self, heterophilous_graph):
+        result = propagate_features(heterophilous_graph, num_steps=3)
+        assert isinstance(result, PropagationResult)
+        assert result.num_steps == 3
+        assert result.num_operators == 6
+        n, f = heterophilous_graph.features.shape
+        assert result.initial.shape == (n, f)
+        for step in result.steps:
+            for matrix in step.values():
+                assert matrix.shape == (n, f)
+
+    def test_step_block_concatenation(self, heterophilous_graph):
+        result = propagate_features(heterophilous_graph, num_steps=2)
+        n, f = heterophilous_graph.features.shape
+        block = result.step_block(0)
+        assert block.shape == (n, (result.num_operators + 1) * f)
+        stacked = result.stacked()
+        assert stacked.shape == (2, n, (result.num_operators + 1) * f)
+
+    def test_propagation_is_iterative(self, heterophilous_graph):
+        """Step l must equal the operator applied to step l-1 (Eq. 9)."""
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        result = propagate_features(heterophilous_graph, num_steps=2, operators=operators)
+        for name, operator in operators.items():
+            expected = operator @ result.steps[0][name]
+            np.testing.assert_allclose(result.steps[1][name], expected)
+
+    def test_invalid_steps(self, heterophilous_graph):
+        with pytest.raises(ValueError):
+            propagate_features(heterophilous_graph, num_steps=0)
+
+    def test_unknown_operator_name(self, heterophilous_graph):
+        with pytest.raises(KeyError):
+            propagate_features(heterophilous_graph, num_steps=1, operator_names=["bogus"])
+
+    def test_operator_subset_respected(self, heterophilous_graph):
+        result = propagate_features(heterophilous_graph, num_steps=1, operator_names=["A", "AAt"])
+        assert result.operator_names == ["A", "AAt"]
+        assert set(result.steps[0]) == {"A", "AAt"}
+
+    def test_selection_keeps_canonical_order(self, heterophilous_graph):
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        kept = select_operators(heterophilous_graph, operators, max_operators=3)
+        assert len(kept) == 3
+        positions = [list(operators).index(name) for name in kept]
+        assert positions == sorted(positions)
+
+    def test_selection_never_empty(self, heterophilous_graph):
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        kept = select_operators(heterophilous_graph, operators, min_correlation=10.0)
+        assert len(kept) == 1
+
+    def test_selection_prefers_informative_patterns(self, heterophilous_graph):
+        """On cyclic heterophilous digraphs AAᵀ/AᵀA carry the homophily signal."""
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        kept = select_operators(heterophilous_graph, operators, max_operators=2)
+        assert set(kept) & {"AAt", "AtA"}
+
+
+class TestAttentionModules:
+    def _blocks(self, num_blocks=3, n=10, f=8, seed=0):
+        rng = np.random.default_rng(seed)
+        return [Tensor(rng.normal(size=(n, f))) for _ in range(num_blocks)]
+
+    @pytest.mark.parametrize("kind", ["original", "gate", "recursive", "jk", "none"])
+    def test_dp_attention_output_shape(self, kind):
+        attention = DirectedPatternAttention(8, 16, num_blocks=3, kind=kind, rng=np.random.default_rng(0))
+        out = attention(self._blocks())
+        assert out.shape == (10, 16)
+
+    def test_dp_attention_rejects_wrong_block_count(self):
+        attention = DirectedPatternAttention(8, 16, num_blocks=3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            attention(self._blocks(num_blocks=2))
+
+    def test_dp_attention_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DirectedPatternAttention(8, 16, num_blocks=3, kind="bogus")
+
+    def test_dp_attention_gradients_flow(self):
+        attention = DirectedPatternAttention(8, 16, num_blocks=3, rng=np.random.default_rng(0))
+        blocks = self._blocks()
+        attention(blocks).sum().backward()
+        for parameter in attention.parameters():
+            assert parameter.grad is not None
+
+    @pytest.mark.parametrize("kind", ["softmax", "mean", "none"])
+    def test_hop_attention_output_shape(self, kind):
+        attention = HopAttention(16, num_hops=4, kind=kind, rng=np.random.default_rng(0))
+        hops = [Tensor(np.random.default_rng(i).normal(size=(10, 16))) for i in range(4)]
+        assert attention(hops).shape == (10, 16)
+
+    def test_hop_attention_weights_sum_to_one(self):
+        attention = HopAttention(16, num_hops=3, kind="softmax", rng=np.random.default_rng(0))
+        hops = [Tensor(np.random.default_rng(i).normal(size=(7, 16))) for i in range(3)]
+        weights = attention.attention_weights(hops)
+        assert weights.shape == (7, 3)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+
+    def test_hop_attention_rejects_wrong_hop_count(self):
+        attention = HopAttention(16, num_hops=3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            attention([Tensor(np.zeros((5, 16)))])
+
+    def test_hop_attention_unknown_kind(self):
+        with pytest.raises(ValueError):
+            HopAttention(16, num_hops=2, kind="bogus")
+
+
+class TestADPAModel:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ADPA(num_features=8, num_classes=3, num_steps=0)
+        with pytest.raises(ValueError):
+            ADPA(num_features=8, num_classes=3, order=0)
+        with pytest.raises(ValueError):
+            ADPA(num_features=0, num_classes=3)
+
+    def test_preprocess_and_forward_shapes(self, heterophilous_graph):
+        model = ADPA.from_graph(heterophilous_graph, hidden=16, num_steps=2, seed=0)
+        cache = model.preprocess(heterophilous_graph)
+        logits = model.forward(cache)
+        assert logits.shape == (heterophilous_graph.num_nodes, heterophilous_graph.num_classes)
+        assert set(model.selected_operators(cache)) == {"A", "At", "AA", "AtAt", "AAt", "AtA"}
+
+    def test_forward_before_preprocess_raises(self, heterophilous_graph):
+        model = ADPA.from_graph(heterophilous_graph, hidden=16)
+        with pytest.raises(RuntimeError):
+            model.forward({"steps": []})
+
+    def test_operator_pruning(self, heterophilous_graph):
+        model = ADPA.from_graph(heterophilous_graph, hidden=16, num_steps=2, max_operators=3, seed=0)
+        cache = model.preprocess(heterophilous_graph)
+        assert len(model.selected_operators(cache)) == 3
+        assert model.forward(cache).shape[0] == heterophilous_graph.num_nodes
+
+    def test_hop_weights_shape(self, heterophilous_graph):
+        model = ADPA.from_graph(heterophilous_graph, hidden=16, num_steps=3, seed=0)
+        cache = model.preprocess(heterophilous_graph)
+        weights = model.hop_weights(cache)
+        assert weights.shape == (heterophilous_graph.num_nodes, 3)
+
+    def test_training_beats_majority_class(self, heterophilous_graph, fast_trainer):
+        model = ADPA.from_graph(heterophilous_graph, hidden=32, num_steps=2, seed=0)
+        result = fast_trainer.fit(model, heterophilous_graph)
+        majority = heterophilous_graph.label_distribution().max()
+        assert result.test_accuracy > majority + 0.05
+
+    def test_predict_returns_classes(self, heterophilous_graph, fast_trainer):
+        model = ADPA.from_graph(heterophilous_graph, hidden=16, num_steps=2, seed=0)
+        fast_trainer.fit(model, heterophilous_graph)
+        predictions = model.predict(heterophilous_graph)
+        assert predictions.shape == (heterophilous_graph.num_nodes,)
+        assert set(np.unique(predictions)) <= set(range(heterophilous_graph.num_classes))
+
+    @pytest.mark.parametrize("dp_kind", ["original", "gate", "recursive", "jk", "none"])
+    def test_all_dp_attention_variants_train(self, heterophilous_graph, dp_kind):
+        trainer = Trainer(epochs=10, patience=5)
+        model = ADPA.from_graph(
+            heterophilous_graph, hidden=16, num_steps=2, dp_attention=dp_kind, seed=0
+        )
+        result = trainer.fit(model, heterophilous_graph)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    @pytest.mark.parametrize("hop_kind", ["softmax", "mean", "none"])
+    def test_all_hop_attention_variants_train(self, heterophilous_graph, hop_kind):
+        trainer = Trainer(epochs=10, patience=5)
+        model = ADPA.from_graph(
+            heterophilous_graph, hidden=16, num_steps=2, hop_attention=hop_kind, seed=0
+        )
+        result = trainer.fit(model, heterophilous_graph)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_works_on_undirected_input(self, homophilous_graph, fast_trainer):
+        """ADPA must accept AMUndirected graphs too (paper Sec. V-B)."""
+        from repro.graph import to_undirected
+
+        undirected = to_undirected(homophilous_graph)
+        model = ADPA.from_graph(undirected, hidden=16, num_steps=2, seed=0)
+        result = fast_trainer.fit(model, undirected)
+        majority = undirected.label_distribution().max()
+        assert result.test_accuracy > majority

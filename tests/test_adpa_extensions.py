@@ -1,0 +1,68 @@
+"""Tests for the residual-propagation extension of ADPA (Sec. IV-A discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.adpa import ADPA, build_dp_operators, propagate_features
+from repro.training import Trainer
+
+
+class TestResidualPropagation:
+    def test_invalid_alpha_rejected(self, heterophilous_graph):
+        with pytest.raises(ValueError):
+            propagate_features(heterophilous_graph, num_steps=2, residual_alpha=1.0)
+        with pytest.raises(ValueError):
+            propagate_features(heterophilous_graph, num_steps=2, residual_alpha=-0.1)
+
+    def test_zero_alpha_matches_plain_propagation(self, heterophilous_graph):
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        plain = propagate_features(heterophilous_graph, num_steps=2, operators=operators)
+        residual = propagate_features(
+            heterophilous_graph, num_steps=2, operators=operators, residual_alpha=0.0
+        )
+        for name in plain.operator_names:
+            np.testing.assert_allclose(plain.steps[1][name], residual.steps[1][name])
+
+    def test_residual_step_formula(self, heterophilous_graph):
+        """Step 1 must equal (1-α) G X + α X exactly."""
+        alpha = 0.3
+        operators = build_dp_operators(heterophilous_graph, order=1)
+        result = propagate_features(
+            heterophilous_graph, num_steps=1, operators=operators, residual_alpha=alpha
+        )
+        features = heterophilous_graph.features
+        for name, operator in operators.items():
+            expected = (1 - alpha) * (operator @ features) + alpha * features
+            np.testing.assert_allclose(result.steps[0][name], expected)
+
+    def test_residual_keeps_features_closer_to_input(self, heterophilous_graph):
+        """A stronger residual keeps deep propagated features nearer the originals."""
+        operators = build_dp_operators(heterophilous_graph, order=2)
+        plain = propagate_features(heterophilous_graph, num_steps=5, operators=operators)
+        residual = propagate_features(
+            heterophilous_graph, num_steps=5, operators=operators, residual_alpha=0.5
+        )
+        features = heterophilous_graph.features
+        name = plain.operator_names[0]
+        plain_distance = np.linalg.norm(plain.steps[-1][name] - features)
+        residual_distance = np.linalg.norm(residual.steps[-1][name] - features)
+        assert residual_distance < plain_distance
+
+    def test_adpa_accepts_residual_alpha(self, heterophilous_graph):
+        model = ADPA.from_graph(
+            heterophilous_graph, hidden=16, num_steps=3, residual_alpha=0.2, seed=0
+        )
+        result = Trainer(epochs=15, patience=15).fit(model, heterophilous_graph)
+        majority = heterophilous_graph.label_distribution().max()
+        assert result.test_accuracy > majority
+
+    def test_adpa_residual_changes_cache(self, heterophilous_graph):
+        plain = ADPA.from_graph(heterophilous_graph, hidden=16, num_steps=2, seed=0)
+        residual = ADPA.from_graph(
+            heterophilous_graph, hidden=16, num_steps=2, residual_alpha=0.4, seed=0
+        )
+        plain_cache = plain.preprocess(heterophilous_graph)
+        residual_cache = residual.preprocess(heterophilous_graph)
+        plain_block = plain_cache["steps"][1][1].numpy()
+        residual_block = residual_cache["steps"][1][1].numpy()
+        assert not np.allclose(plain_block, residual_block)

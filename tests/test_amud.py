@@ -1,0 +1,195 @@
+"""Tests for the AMUD correlation machinery and guidance decision (paper Sec. III)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.amud import (
+    amud_decide,
+    amud_score,
+    apply_amud,
+    guidance_score,
+    pattern_correlations,
+    pattern_profile_correlation,
+    pattern_r_squared,
+)
+from repro.amud.guidance import _pattern_order
+from repro.graph import DirectedGraph, to_undirected
+from repro.graph.generators import DSBMConfig, directed_sbm
+
+
+def _dense_correlation(pattern, profiles):
+    """Brute-force Pearson correlation over all ordered off-diagonal pairs."""
+    pattern = np.asarray(pattern.todense())
+    n = pattern.shape[0]
+    xs, zs = [], []
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            xs.append(pattern[u, v])
+            zs.append(1.0 if profiles[u] == profiles[v] else 0.0)
+    xs, zs = np.asarray(xs), np.asarray(zs)
+    if xs.std() == 0 or zs.std() == 0:
+        return 0.0
+    return float(np.corrcoef(xs, zs)[0, 1])
+
+
+class TestPatternProfileCorrelation:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((12, 12)) < 0.3).astype(float)
+        np.fill_diagonal(dense, 0)
+        pattern = sp.csr_matrix(dense)
+        profiles = rng.integers(0, 3, size=12)
+        fast = pattern_profile_correlation(pattern, profiles)
+        slow = _dense_correlation(pattern, profiles)
+        assert fast == pytest.approx(slow, abs=1e-10)
+
+    def test_perfectly_aligned_pattern_positive(self):
+        # Pattern connects exactly the same-class pairs.
+        labels = np.array([0, 0, 1, 1])
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = dense[2, 3] = dense[3, 2] = 1.0
+        assert pattern_profile_correlation(sp.csr_matrix(dense), labels) > 0.9
+
+    def test_anti_aligned_pattern_negative(self):
+        labels = np.array([0, 0, 1, 1])
+        dense = np.zeros((4, 4))
+        dense[0, 2] = dense[2, 0] = dense[1, 3] = dense[3, 1] = 1.0
+        assert pattern_profile_correlation(sp.csr_matrix(dense), labels) < -0.4
+
+    def test_empty_pattern_is_zero(self):
+        labels = np.array([0, 1, 0, 1])
+        assert pattern_profile_correlation(sp.csr_matrix((4, 4)), labels) == 0.0
+
+    def test_uniform_profile_is_zero(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = 1.0
+        assert pattern_profile_correlation(sp.csr_matrix(dense), np.zeros(4, dtype=int)) == 0.0
+
+    def test_single_node_graph(self):
+        assert pattern_profile_correlation(sp.csr_matrix((1, 1)), np.array([0])) == 0.0
+
+    def test_bounded_in_minus_one_one(self, heterophilous_graph):
+        correlations = pattern_correlations(heterophilous_graph)
+        for value in correlations.values():
+            assert -1.0 <= value <= 1.0
+
+
+class TestPatternCorrelations:
+    def test_returns_all_second_order_patterns(self, heterophilous_graph):
+        correlations = pattern_correlations(heterophilous_graph, order=2)
+        assert set(correlations) == {"A", "At", "AA", "AtAt", "AAt", "AtA"}
+
+    def test_r_squared_is_square(self, heterophilous_graph):
+        correlations = pattern_correlations(heterophilous_graph)
+        r_squared = pattern_r_squared(heterophilous_graph)
+        for name in correlations:
+            assert r_squared[name] == pytest.approx(correlations[name] ** 2)
+
+    def test_feature_profile_option_runs(self, homophilous_graph):
+        correlations = pattern_correlations(homophilous_graph, profile="features")
+        assert len(correlations) == 6
+
+    def test_explicit_profile_array(self, homophilous_graph):
+        correlations = pattern_correlations(homophilous_graph, profile=homophilous_graph.labels)
+        assert correlations == pattern_correlations(homophilous_graph, profile="labels")
+
+    def test_unknown_profile_rejected(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            pattern_correlations(homophilous_graph, profile="bogus")
+
+    def test_directional_structure_shows_in_composites(self, heterophilous_graph):
+        """On a cyclic heterophilous digraph AAᵀ/AᵀA recover homophily that AA lacks."""
+        correlations = pattern_correlations(heterophilous_graph)
+        assert correlations["AAt"] > correlations["AA"]
+        assert correlations["AtA"] > correlations["AtAt"]
+
+
+class TestGuidanceScore:
+    def test_pattern_order_parser(self):
+        assert _pattern_order("A") == 1
+        assert _pattern_order("At") == 1
+        assert _pattern_order("AAt") == 2
+        assert _pattern_order("AtAtA") == 3
+
+    def test_uniform_r_squared_gives_zero(self):
+        values = {"A": 0.3, "At": 0.3, "AA": 0.3, "AtAt": 0.3, "AAt": 0.3, "AtA": 0.3}
+        assert guidance_score(values) == 0.0
+
+    def test_spread_increases_score(self):
+        spread = {"A": 0.1, "At": 0.1, "AA": 0.0, "AtAt": 0.0, "AAt": 0.3, "AtA": 0.3}
+        uniform = {"A": 0.1, "At": 0.1, "AA": 0.29, "AtAt": 0.29, "AAt": 0.3, "AtA": 0.3}
+        assert guidance_score(spread) > guidance_score(uniform)
+
+    def test_all_zero_r_squared(self):
+        assert guidance_score({"A": 0.0, "At": 0.0}) == 0.0
+
+    def test_single_value(self):
+        assert guidance_score({"A": 0.5}) == 0.0
+
+    def test_scale_invariance(self):
+        """α = 1/max makes the score invariant to uniform rescaling of R²."""
+        base = {"A": 0.02, "At": 0.02, "AA": 0.01, "AtAt": 0.01, "AAt": 0.05, "AtA": 0.05}
+        scaled = {name: value * 10 for name, value in base.items()}
+        assert guidance_score(base) == pytest.approx(guidance_score(scaled))
+
+
+class TestAmudDecision:
+    def test_heterophilous_directed_graph_keeps_direction(self, heterophilous_graph):
+        decision = amud_decide(heterophilous_graph)
+        assert decision.score > 0.5
+        assert decision.keep_directed
+        assert decision.modeling == "directed"
+
+    def test_homophilous_graph_goes_undirected(self, homophilous_graph):
+        decision = amud_decide(homophilous_graph)
+        assert decision.score < 0.5
+        assert not decision.keep_directed
+        assert decision.modeling == "undirected"
+
+    def test_amud_score_matches_decision_score(self, homophilous_graph):
+        assert amud_score(homophilous_graph) == pytest.approx(amud_decide(homophilous_graph).score)
+
+    def test_threshold_controls_decision(self, heterophilous_graph):
+        score = amud_score(heterophilous_graph)
+        decision = amud_decide(heterophilous_graph, threshold=score + 0.1)
+        assert not decision.keep_directed
+
+    def test_already_undirected_graph_never_kept_directed(self, homophilous_graph):
+        undirected = to_undirected(homophilous_graph)
+        decision = amud_decide(undirected, threshold=0.0)
+        assert not decision.keep_directed
+
+    def test_apply_amud_returns_directed_graph_unchanged(self, heterophilous_graph):
+        modeled, decision = apply_amud(heterophilous_graph)
+        assert decision.keep_directed
+        assert modeled is heterophilous_graph
+
+    def test_apply_amud_undirects_when_guided(self, homophilous_graph):
+        modeled, decision = apply_amud(homophilous_graph)
+        assert not decision.keep_directed
+        assert not modeled.is_directed()
+
+    def test_decision_carries_reports(self, heterophilous_graph):
+        decision = amud_decide(heterophilous_graph)
+        assert set(decision.r_squared) == set(decision.correlations)
+        for name, value in decision.correlations.items():
+            assert decision.r_squared[name] == pytest.approx(value ** 2)
+
+    def test_asymmetry_monotonically_raises_score(self):
+        """More directional structure in the generator ⇒ higher AMUD score."""
+        scores = []
+        for asymmetry in (0.0, 0.5, 0.95):
+            config = DSBMConfig(
+                num_nodes=400,
+                num_classes=4,
+                avg_degree=6,
+                homophily=0.2,
+                directional_asymmetry=asymmetry,
+                feature_dim=4,
+                name=f"asym-{asymmetry}",
+            )
+            scores.append(amud_score(directed_sbm(config, seed=0)))
+        assert scores[0] < scores[1] < scores[2]

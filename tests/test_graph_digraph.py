@@ -1,0 +1,122 @@
+"""Tests for the DirectedGraph container and edge-list constructor."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import DirectedGraph, from_edge_list
+
+
+def _simple_graph(**kwargs):
+    adjacency = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=float))
+    features = np.arange(6, dtype=float).reshape(3, 2)
+    labels = np.array([0, 1, 1])
+    return DirectedGraph(adjacency=adjacency, features=features, labels=labels, **kwargs)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        graph = _simple_graph(name="demo")
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.num_features == 2
+        assert graph.num_classes == 2
+        assert graph.name == "demo"
+
+    def test_rejects_non_square_adjacency(self):
+        with pytest.raises(ValueError):
+            DirectedGraph(
+                adjacency=sp.csr_matrix(np.ones((2, 3))),
+                features=np.zeros((2, 1)),
+                labels=np.zeros(2, dtype=int),
+            )
+
+    def test_rejects_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            DirectedGraph(
+                adjacency=sp.identity(3, format="csr"),
+                features=np.zeros((2, 1)),
+                labels=np.zeros(3, dtype=int),
+            )
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            DirectedGraph(
+                adjacency=sp.identity(3, format="csr"),
+                features=np.zeros((3, 1)),
+                labels=np.zeros(2, dtype=int),
+            )
+
+    def test_rejects_bad_mask_length(self):
+        with pytest.raises(ValueError):
+            _simple_graph(train_mask=np.array([True, False]))
+
+    def test_masks_coerced_to_bool(self):
+        graph = _simple_graph(train_mask=np.array([1, 0, 1]))
+        assert graph.train_mask.dtype == bool
+
+    def test_from_edge_list(self):
+        edges = np.array([[0, 1], [1, 2], [0, 1]])  # duplicate collapses
+        graph = from_edge_list(edges, 3, np.zeros((3, 2)), np.array([0, 0, 1]))
+        assert graph.num_edges == 2
+        assert graph.adjacency[0, 1] == 1.0
+
+    def test_from_edge_list_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_edge_list(np.array([0, 1, 2]), 3, np.zeros((3, 1)), np.zeros(3, dtype=int))
+
+
+class TestDerivedQuantities:
+    def test_degrees(self):
+        graph = _simple_graph()
+        np.testing.assert_array_equal(graph.out_degrees(), [1, 1, 0])
+        np.testing.assert_array_equal(graph.in_degrees(), [0, 1, 1])
+
+    def test_is_directed(self):
+        assert _simple_graph().is_directed()
+        symmetric = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        graph = DirectedGraph(symmetric, np.zeros((2, 1)), np.array([0, 1]))
+        assert not graph.is_directed()
+
+    def test_edge_list_roundtrip(self):
+        graph = _simple_graph()
+        rows, cols = graph.edge_list()
+        assert set(zip(rows.tolist(), cols.tolist())) == {(0, 1), (1, 2)}
+
+    def test_label_distribution_sums_to_one(self):
+        graph = _simple_graph()
+        distribution = graph.label_distribution()
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution[1] == pytest.approx(2 / 3)
+
+    def test_summary_fields(self):
+        summary = _simple_graph(name="demo").summary()
+        assert summary["name"] == "demo"
+        assert summary["nodes"] == 3
+        assert summary["directed"] is True
+
+    def test_has_splits(self):
+        graph = _simple_graph()
+        assert not graph.has_splits
+        graph = _simple_graph(
+            train_mask=np.array([1, 0, 0]),
+            val_mask=np.array([0, 1, 0]),
+            test_mask=np.array([0, 0, 1]),
+        )
+        assert graph.has_splits
+
+
+class TestCopySemantics:
+    def test_with_returns_new_object(self):
+        graph = _simple_graph()
+        renamed = graph.with_(name="other")
+        assert renamed.name == "other"
+        assert graph.name == "graph"
+
+    def test_copy_is_deep_for_arrays(self):
+        graph = _simple_graph()
+        clone = graph.copy()
+        clone.features[0, 0] = 99.0
+        assert graph.features[0, 0] != 99.0
+        clone.meta["x"] = 1
+        assert "x" not in graph.meta

@@ -1,0 +1,145 @@
+"""Tests for the directed SBM generator and its calibration knobs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    DSBMConfig,
+    directed_sbm,
+    heterophilous_digraph,
+    homophilous_digraph,
+)
+from repro.metrics import edge_homophily
+
+
+class TestConfigValidation:
+    def test_rejects_bad_homophily(self):
+        with pytest.raises(ValueError):
+            DSBMConfig(homophily=1.5)
+
+    def test_rejects_bad_asymmetry(self):
+        with pytest.raises(ValueError):
+            DSBMConfig(directional_asymmetry=-0.1)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            DSBMConfig(avg_degree=0.0)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            DSBMConfig(num_nodes=3, num_classes=5)
+
+    def test_rejects_unknown_asymmetry_mode(self):
+        with pytest.raises(ValueError):
+            DSBMConfig(asymmetry_mode="diagonal")
+
+
+class TestGeneratedGraphs:
+    def test_basic_shape(self):
+        config = DSBMConfig(num_nodes=200, num_classes=4, feature_dim=8, avg_degree=3.0)
+        graph = directed_sbm(config, seed=0)
+        assert graph.num_nodes == 200
+        assert graph.num_features == 8
+        assert graph.num_classes == 4
+        assert graph.num_edges > 0
+        assert graph.adjacency.diagonal().sum() == 0  # no self-loops
+
+    def test_determinism(self):
+        config = DSBMConfig(num_nodes=150, num_classes=3, feature_dim=6)
+        a = directed_sbm(config, seed=3)
+        b = directed_sbm(config, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.adjacency.toarray(), b.adjacency.toarray())
+
+    def test_different_seeds_differ(self):
+        config = DSBMConfig(num_nodes=150, num_classes=3, feature_dim=6)
+        a = directed_sbm(config, seed=3)
+        b = directed_sbm(config, seed=4)
+        assert not np.array_equal(a.adjacency.toarray(), b.adjacency.toarray())
+
+    def test_every_class_present(self):
+        config = DSBMConfig(num_nodes=60, num_classes=6, feature_dim=4, class_imbalance=1.0)
+        graph = directed_sbm(config, seed=0)
+        assert set(np.unique(graph.labels)) == set(range(6))
+
+    def test_homophily_knob_controls_edge_homophily(self):
+        high = directed_sbm(
+            DSBMConfig(num_nodes=600, num_classes=4, avg_degree=6, homophily=0.85, feature_dim=4),
+            seed=0,
+        )
+        low = directed_sbm(
+            DSBMConfig(num_nodes=600, num_classes=4, avg_degree=6, homophily=0.15, feature_dim=4),
+            seed=0,
+        )
+        assert edge_homophily(high) > 0.7
+        assert edge_homophily(low) < 0.3
+
+    def test_edge_homophily_matches_target(self):
+        target = 0.6
+        graph = directed_sbm(
+            DSBMConfig(num_nodes=800, num_classes=5, avg_degree=8, homophily=target, feature_dim=4),
+            seed=1,
+        )
+        assert edge_homophily(graph) == pytest.approx(target, abs=0.07)
+
+    def test_feature_signal_controls_separability(self):
+        strong = directed_sbm(
+            DSBMConfig(num_nodes=300, num_classes=3, feature_dim=16, feature_signal=2.0),
+            seed=0,
+        )
+        weak = directed_sbm(
+            DSBMConfig(num_nodes=300, num_classes=3, feature_dim=16, feature_signal=0.01),
+            seed=0,
+        )
+
+        def class_separation(graph):
+            means = np.stack(
+                [graph.features[graph.labels == cls].mean(axis=0) for cls in range(3)]
+            )
+            return np.linalg.norm(means[0] - means[1])
+
+        assert class_separation(strong) > 5 * class_separation(weak)
+
+    def test_average_degree_close_to_target(self):
+        config = DSBMConfig(num_nodes=1000, num_classes=4, avg_degree=5.0, feature_dim=4)
+        graph = directed_sbm(config, seed=0)
+        # Duplicates and self-loops are dropped, so slight under-shoot is fine.
+        assert 4.0 <= graph.num_edges / graph.num_nodes <= 5.0
+
+    def test_class_imbalance_skews_distribution(self):
+        balanced = directed_sbm(
+            DSBMConfig(num_nodes=1000, num_classes=4, feature_dim=4, class_imbalance=0.0), seed=0
+        )
+        skewed = directed_sbm(
+            DSBMConfig(num_nodes=1000, num_classes=4, feature_dim=4, class_imbalance=1.0), seed=0
+        )
+        assert skewed.label_distribution().max() > balanced.label_distribution().max()
+
+    def test_hierarchy_mode_orients_edges_upward(self):
+        config = DSBMConfig(
+            num_nodes=500,
+            num_classes=2,
+            avg_degree=4,
+            homophily=0.1,
+            directional_asymmetry=1.0,
+            asymmetry_mode="hierarchy",
+            feature_dim=4,
+        )
+        graph = directed_sbm(config, seed=0)
+        rows, cols = graph.edge_list()
+        hetero = graph.labels[rows] != graph.labels[cols]
+        # With full asymmetry every heterophilous edge points low -> high class.
+        assert np.all(graph.labels[rows[hetero]] <= graph.labels[cols[hetero]])
+
+
+class TestConvenienceConstructors:
+    def test_homophilous_digraph_defaults(self):
+        graph = homophilous_digraph(num_nodes=300, seed=0)
+        assert edge_homophily(graph) > 0.6
+        assert graph.name == "homophilous"
+
+    def test_heterophilous_digraph_defaults(self):
+        graph = heterophilous_digraph(num_nodes=300, seed=0)
+        assert edge_homophily(graph) < 0.35
+        assert graph.name == "heterophilous"

@@ -1,0 +1,155 @@
+"""Tests for graph transforms (undirection, sparsity) and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    add_graph_self_loops,
+    largest_connected_component,
+    per_class_split,
+    ratio_split,
+    remove_self_loops,
+    row_normalize_features,
+    sparsify_edges,
+    sparsify_features,
+    sparsify_labels,
+    split_counts,
+    standardize_features,
+    to_undirected,
+    validate_splits,
+)
+
+
+class TestBasicTransforms:
+    def test_to_undirected_symmetric(self, tiny_graph):
+        undirected = to_undirected(tiny_graph)
+        difference = undirected.adjacency - undirected.adjacency.T
+        assert np.abs(difference.toarray()).sum() == 0
+        assert not undirected.is_directed()
+
+    def test_to_undirected_does_not_mutate_input(self, tiny_graph):
+        edges_before = tiny_graph.num_edges
+        to_undirected(tiny_graph)
+        assert tiny_graph.num_edges == edges_before
+
+    def test_to_undirected_binary(self, tiny_graph):
+        undirected = to_undirected(tiny_graph)
+        assert set(np.unique(undirected.adjacency.data)) == {1.0}
+
+    def test_self_loop_roundtrip(self, tiny_graph):
+        looped = add_graph_self_loops(tiny_graph)
+        np.testing.assert_allclose(looped.adjacency.diagonal(), 1.0)
+        cleaned = remove_self_loops(looped)
+        assert cleaned.adjacency.diagonal().sum() == 0
+
+    def test_row_normalize_features(self, tiny_graph):
+        normalized = row_normalize_features(tiny_graph)
+        sums = np.abs(normalized.features).sum(axis=1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_standardize_features(self, homophilous_graph):
+        standardized = standardize_features(homophilous_graph)
+        np.testing.assert_allclose(standardized.features.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(standardized.features.std(axis=0), 1.0, atol=1e-2)
+
+    def test_largest_connected_component(self, homophilous_graph):
+        component = largest_connected_component(homophilous_graph)
+        assert component.num_nodes <= homophilous_graph.num_nodes
+        assert component.num_nodes > 0
+
+
+class TestSparsityInjectors:
+    def test_feature_sparsity_zeroes_rows(self, homophilous_graph):
+        sparsified = sparsify_features(homophilous_graph, 0.5, rng=np.random.default_rng(0))
+        zero_rows = np.sum(np.all(sparsified.features == 0, axis=1))
+        assert zero_rows > 0
+        # original untouched
+        assert np.sum(np.all(homophilous_graph.features == 0, axis=1)) == 0
+
+    def test_feature_sparsity_protects_training_nodes(self, homophilous_graph):
+        sparsified = sparsify_features(
+            homophilous_graph, 1.0, rng=np.random.default_rng(0), protect_train=True
+        )
+        train_rows = sparsified.features[sparsified.train_mask]
+        assert not np.any(np.all(train_rows == 0, axis=1))
+
+    def test_feature_sparsity_invalid_rate(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            sparsify_features(homophilous_graph, 1.5)
+
+    def test_edge_sparsity_removes_expected_fraction(self, homophilous_graph):
+        sparsified = sparsify_edges(homophilous_graph, 0.4, rng=np.random.default_rng(0))
+        expected = homophilous_graph.num_edges - int(round(0.4 * homophilous_graph.num_edges))
+        assert sparsified.num_edges == expected
+
+    def test_edge_sparsity_zero_and_full(self, homophilous_graph):
+        unchanged = sparsify_edges(homophilous_graph, 0.0, rng=np.random.default_rng(0))
+        assert unchanged.num_edges == homophilous_graph.num_edges
+        empty = sparsify_edges(homophilous_graph, 1.0, rng=np.random.default_rng(0))
+        assert empty.num_edges == 0
+
+    def test_label_sparsity_limits_training_nodes(self, homophilous_graph):
+        sparsified = sparsify_labels(homophilous_graph, 2, rng=np.random.default_rng(0))
+        for cls in range(sparsified.num_classes):
+            count = np.sum(sparsified.labels[sparsified.train_mask] == cls)
+            assert count <= 2
+        # val/test untouched
+        np.testing.assert_array_equal(sparsified.val_mask, homophilous_graph.val_mask)
+
+    def test_label_sparsity_requires_split(self, tiny_graph):
+        with pytest.raises(ValueError):
+            sparsify_labels(tiny_graph, 1)
+
+    def test_label_sparsity_invalid_count(self, homophilous_graph):
+        with pytest.raises(ValueError):
+            sparsify_labels(homophilous_graph, 0)
+
+
+class TestSplits:
+    def test_per_class_split_counts(self, homophilous_graph):
+        counts = split_counts(homophilous_graph)
+        assert counts[0] == 10 * homophilous_graph.num_classes
+        assert counts[1] == 60
+        assert sum(counts) <= homophilous_graph.num_nodes
+
+    def test_per_class_split_valid(self, homophilous_graph):
+        validate_splits(homophilous_graph)
+
+    def test_ratio_split_proportions(self, heterophilous_graph):
+        train, val, test = split_counts(heterophilous_graph)
+        n = heterophilous_graph.num_nodes
+        assert train == pytest.approx(0.5 * n, rel=0.1)
+        assert val == pytest.approx(0.25 * n, rel=0.15)
+        assert train + val + test == n
+
+    def test_ratio_split_stratified_covers_all_classes(self, heterophilous_graph):
+        train_labels = heterophilous_graph.labels[heterophilous_graph.train_mask]
+        assert set(np.unique(train_labels)) == set(range(heterophilous_graph.num_classes))
+
+    def test_ratio_split_invalid_ratios(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ratio_split(tiny_graph, train_ratio=0.8, val_ratio=0.4)
+
+    def test_per_class_split_invalid_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            per_class_split(tiny_graph, train_per_class=0)
+
+    def test_split_counts_requires_masks(self, tiny_graph):
+        with pytest.raises(ValueError):
+            split_counts(tiny_graph)
+
+    def test_splits_deterministic_given_seed(self, homophilous_graph):
+        from repro.graph.generators import DSBMConfig, directed_sbm
+
+        config = DSBMConfig(num_nodes=100, num_classes=3, feature_dim=4, name="det")
+        graph = directed_sbm(config, seed=5)
+        split_a = ratio_split(graph, seed=11)
+        split_b = ratio_split(graph, seed=11)
+        np.testing.assert_array_equal(split_a.train_mask, split_b.train_mask)
+        split_c = ratio_split(graph, seed=12)
+        assert not np.array_equal(split_a.train_mask, split_c.train_mask)
+
+    def test_validate_splits_detects_overlap(self, homophilous_graph):
+        broken = homophilous_graph.with_(val_mask=homophilous_graph.train_mask.copy())
+        with pytest.raises(ValueError):
+            validate_splits(broken)

@@ -1,0 +1,108 @@
+"""Integration tests spanning datasets → AMUD → models → training.
+
+These are the paper's headline claims at miniature scale:
+
+* Proposition 1 — undirected GNNs win on AMUndirected data, directed GNNs
+  win on AMDirected data;
+* Proposition 2 — undirected augmentation helps directed models on
+  homophilous digraphs and hurts on heterophilous directional ones;
+* ADPA is competitive in both regimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amud import amud_decide
+from repro.datasets import load_dataset
+from repro.graph import to_undirected
+from repro.training import Trainer, run_single
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    return Trainer(epochs=60, patience=20)
+
+
+@pytest.fixture(scope="module")
+def chameleon():
+    return load_dataset("chameleon", seed=0)
+
+
+@pytest.fixture(scope="module")
+def citeseer():
+    return load_dataset("citeseer", seed=0)
+
+
+class TestPaperPropositions:
+    def test_amud_separates_the_two_benchmark_groups(self, citeseer, chameleon):
+        assert amud_decide(citeseer).modeling == "undirected"
+        assert amud_decide(chameleon).modeling == "directed"
+
+    def test_proposition1_directed_gnn_wins_on_amdirected(self, chameleon, trainer):
+        """On a heterophilous directional digraph DirGNN must beat GCN clearly."""
+        gcn = run_single("GCN", to_undirected(chameleon), seed=0, trainer=trainer)
+        dirgnn = run_single("DirGNN", chameleon, seed=0, trainer=trainer)
+        assert dirgnn.test_accuracy > gcn.test_accuracy + 0.03
+
+    def test_proposition1_undirected_gnn_wins_on_amundirected(self, citeseer, trainer):
+        """On a homophilous graph the undirected model must be at least on par."""
+        gcn = run_single("GCN", to_undirected(citeseer), seed=0, trainer=trainer)
+        dirgnn = run_single("DirGNN", citeseer, seed=0, trainer=trainer)
+        assert gcn.test_accuracy >= dirgnn.test_accuracy - 0.02
+
+    def test_proposition2_undirected_augmentation_hurts_directional_data(self, chameleon, trainer):
+        """Feeding the undirected transform to a directed GNN loses accuracy (O2)."""
+        directed_input = run_single("DirGNN", chameleon, seed=0, trainer=trainer)
+        undirected_input = run_single("DirGNN", to_undirected(chameleon), seed=0, trainer=trainer)
+        assert directed_input.test_accuracy > undirected_input.test_accuracy
+
+    def test_adpa_competitive_on_amdirected(self, chameleon, trainer):
+        adpa = run_single(
+            "ADPA", chameleon, seed=0, trainer=trainer, model_kwargs={"num_steps": 2, "hidden": 32}
+        )
+        gcn = run_single("GCN", to_undirected(chameleon), seed=0, trainer=trainer)
+        assert adpa.test_accuracy > gcn.test_accuracy
+
+    def test_adpa_competitive_on_amundirected(self, citeseer, trainer):
+        """ADPA on the AMUndirected output stays within a few points of GPR-GNN."""
+        undirected = to_undirected(citeseer)
+        adpa = run_single(
+            "ADPA", undirected, seed=0, trainer=trainer, model_kwargs={"num_steps": 2, "hidden": 32}
+        )
+        gpr = run_single("GPRGNN", undirected, seed=0, trainer=trainer)
+        assert adpa.test_accuracy > gpr.test_accuracy - 0.1
+
+
+class TestEndToEndWorkflow:
+    def test_full_pipeline_on_both_regimes(self, citeseer, chameleon):
+        from repro.pipeline import AmudPipeline
+
+        quick = Trainer(epochs=40, patience=15)
+        pipeline = AmudPipeline(
+            undirected_model="GPRGNN",
+            directed_model="ADPA",
+            trainer=quick,
+            model_kwargs={"directed": {"num_steps": 2, "hidden": 32}},
+        )
+        homophilous_result = pipeline.fit(citeseer)
+        assert homophilous_result.model_name == "GPRGNN"
+
+        pipeline_directed = AmudPipeline(
+            undirected_model="GPRGNN",
+            directed_model="ADPA",
+            trainer=quick,
+            model_kwargs={"directed": {"num_steps": 2, "hidden": 32}},
+        )
+        heterophilous_result = pipeline_directed.fit(chameleon)
+        assert heterophilous_result.model_name == "ADPA"
+
+        for result in (homophilous_result, heterophilous_result):
+            majority = result.modeled_graph.label_distribution().max()
+            assert result.test_accuracy > majority
+
+    def test_training_reproducibility_end_to_end(self, chameleon):
+        trainer = Trainer(epochs=20, patience=10)
+        first = run_single("DirGNN", chameleon, seed=3, trainer=trainer)
+        second = run_single("DirGNN", chameleon, seed=3, trainer=trainer)
+        assert first.test_accuracy == pytest.approx(second.test_accuracy)
+        np.testing.assert_allclose(first.history["loss"], second.history["loss"])

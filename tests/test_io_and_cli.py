@@ -1,0 +1,99 @@
+"""Tests for graph persistence (npz round-trip) and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.graph.io import load_graph, save_graph
+
+
+class TestGraphIO:
+    def test_roundtrip_preserves_everything(self, homophilous_graph, tmp_path):
+        path = save_graph(homophilous_graph, tmp_path / "graph.npz")
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(
+            loaded.adjacency.toarray(), homophilous_graph.adjacency.toarray()
+        )
+        np.testing.assert_array_equal(loaded.features, homophilous_graph.features)
+        np.testing.assert_array_equal(loaded.labels, homophilous_graph.labels)
+        np.testing.assert_array_equal(loaded.train_mask, homophilous_graph.train_mask)
+        np.testing.assert_array_equal(loaded.val_mask, homophilous_graph.val_mask)
+        np.testing.assert_array_equal(loaded.test_mask, homophilous_graph.test_mask)
+        assert loaded.name == homophilous_graph.name
+        assert loaded.meta["generator"] == "directed_sbm"
+
+    def test_roundtrip_without_splits(self, tiny_graph, tmp_path):
+        path = save_graph(tiny_graph, tmp_path / "tiny")
+        assert path.suffix == ".npz"
+        loaded = load_graph(path)
+        assert loaded.train_mask is None
+        assert loaded.num_edges == tiny_graph.num_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "nope.npz")
+
+    def test_directory_created(self, tiny_graph, tmp_path):
+        nested = tmp_path / "a" / "b" / "graph.npz"
+        save_graph(tiny_graph, nested)
+        assert nested.exists()
+
+
+class TestCLI:
+    def test_datasets_listing(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "coraml" in out and "squirrel" in out
+
+    def test_models_listing(self, capsys):
+        assert cli_main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ADPA" in out and "GCN" in out
+
+    def test_models_listing_filtered(self, capsys):
+        assert cli_main(["models", "--category", "directed-spatial"]) == 0
+        out = capsys.readouterr().out
+        assert "DirGNN" in out
+        assert not any(line.startswith("GCN ") for line in out.splitlines())
+
+    def test_amud_command(self, capsys):
+        assert cli_main(["amud", "texas"]) == 0
+        out = capsys.readouterr().out
+        assert "guidance score" in out
+        assert "model as directed" in out
+
+    def test_amud_command_undirected_dataset(self, capsys):
+        assert cli_main(["amud", "citeseer"]) == 0
+        out = capsys.readouterr().out
+        assert "model as undirected" in out
+
+    def test_train_command_single_model(self, capsys):
+        code = cli_main(
+            ["train", "texas", "--model", "MLP", "--epochs", "10", "--patience", "5", "--hidden", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+
+    def test_train_command_undirected_view(self, capsys):
+        code = cli_main(
+            ["train", "texas", "--model", "SGC", "--epochs", "5", "--patience", "5", "--undirected"]
+        )
+        assert code == 0
+        assert "U-" in capsys.readouterr().out
+
+    def test_train_command_pipeline(self, capsys):
+        code = cli_main(
+            ["train", "texas", "--epochs", "10", "--patience", "5", "--hidden", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AMUD score" in out
+
+    def test_train_unknown_model(self):
+        with pytest.raises(KeyError):
+            cli_main(["train", "texas", "--model", "NotAModel", "--epochs", "5"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["amud", "not-a-dataset"])

@@ -1,0 +1,148 @@
+"""Tests for homophily measures and classification metrics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import DirectedGraph, to_undirected
+from repro.metrics import (
+    accuracy,
+    adjusted_homophily,
+    class_homophily,
+    confusion_matrix,
+    edge_homophily,
+    homophily_report,
+    label_informativeness,
+    macro_f1,
+    node_homophily,
+    summarize_runs,
+)
+
+
+def graph_from_edges(edges, labels, num_nodes=None):
+    edges = np.asarray(edges)
+    labels = np.asarray(labels)
+    n = num_nodes if num_nodes is not None else labels.size
+    adjacency = sp.csr_matrix(
+        (np.ones(len(edges)), (edges[:, 0], edges[:, 1])), shape=(n, n)
+    )
+    return DirectedGraph(adjacency, np.zeros((n, 2)), labels)
+
+
+@pytest.fixture()
+def perfectly_homophilous():
+    # Two triangles, one per class, no cross edges.
+    edges = [[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3]]
+    return graph_from_edges(edges, [0, 0, 0, 1, 1, 1])
+
+
+@pytest.fixture()
+def perfectly_heterophilous():
+    # Bipartite: class 0 points to class 1 and back.
+    edges = [[0, 3], [1, 4], [2, 5], [3, 0], [4, 1], [5, 2]]
+    return graph_from_edges(edges, [0, 0, 0, 1, 1, 1])
+
+
+class TestHomophilyMeasures:
+    def test_edge_homophily_extremes(self, perfectly_homophilous, perfectly_heterophilous):
+        assert edge_homophily(perfectly_homophilous) == 1.0
+        assert edge_homophily(perfectly_heterophilous) == 0.0
+
+    def test_node_homophily_extremes(self, perfectly_homophilous, perfectly_heterophilous):
+        assert node_homophily(perfectly_homophilous) == 1.0
+        assert node_homophily(perfectly_heterophilous) == 0.0
+
+    def test_adjusted_homophily_extremes(self, perfectly_homophilous, perfectly_heterophilous):
+        assert adjusted_homophily(perfectly_homophilous) == pytest.approx(1.0)
+        assert adjusted_homophily(perfectly_heterophilous) < 0.0
+
+    def test_class_homophily_range(self, perfectly_homophilous, perfectly_heterophilous):
+        assert class_homophily(perfectly_homophilous) > class_homophily(perfectly_heterophilous)
+        assert class_homophily(perfectly_heterophilous) == 0.0
+
+    def test_label_informativeness_extremes(self, perfectly_homophilous, perfectly_heterophilous):
+        # Both graphs are fully informative: knowing one endpoint determines the other.
+        assert label_informativeness(perfectly_homophilous) == pytest.approx(1.0)
+        assert label_informativeness(perfectly_heterophilous) == pytest.approx(1.0)
+
+    def test_label_informativeness_random_graph_low(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 200, size=(2000, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        labels = rng.integers(0, 4, size=200)
+        graph = graph_from_edges(edges, labels)
+        assert label_informativeness(graph) < 0.05
+
+    def test_accepts_tuple_input(self, perfectly_homophilous):
+        pair = (perfectly_homophilous.adjacency, perfectly_homophilous.labels)
+        assert edge_homophily(pair) == 1.0
+
+    def test_empty_graph_returns_zero(self):
+        graph = graph_from_edges(np.zeros((0, 2), dtype=int), [0, 1], num_nodes=2)
+        assert edge_homophily(graph) == 0.0
+        assert node_homophily(graph) == 0.0
+        assert adjusted_homophily(graph) == 0.0
+        assert label_informativeness(graph) == 0.0
+
+    def test_report_contains_all_measures(self, perfectly_homophilous):
+        report = homophily_report(perfectly_homophilous)
+        assert set(report) == {"node", "edge", "class", "adjusted", "label_informativeness"}
+
+    def test_directed_vs_undirected_nearly_identical_on_classic_metrics(self, heterophilous_graph):
+        """Table I's point: classic homophily metrics barely change when undirecting."""
+        directed_value = edge_homophily(heterophilous_graph)
+        undirected_value = edge_homophily(to_undirected(heterophilous_graph))
+        assert abs(directed_value - undirected_value) < 0.1
+
+    def test_homophilous_graph_scores_high(self, homophilous_graph):
+        assert edge_homophily(homophilous_graph) > 0.6
+        assert adjusted_homophily(homophilous_graph) > 0.4
+
+    def test_heterophilous_graph_scores_low(self, heterophilous_graph):
+        assert edge_homophily(heterophilous_graph) < 0.35
+        assert adjusted_homophily(heterophilous_graph) < 0.2
+
+
+class TestClassificationMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_with_boolean_mask(self):
+        predictions = np.array([0, 1, 1, 0])
+        labels = np.array([0, 1, 0, 0])
+        mask = np.array([True, True, False, False])
+        assert accuracy(predictions, labels, mask) == 1.0
+
+    def test_accuracy_with_index_mask(self):
+        predictions = np.array([0, 1, 1, 0])
+        labels = np.array([0, 1, 0, 0])
+        assert accuracy(predictions, labels, np.array([2])) == 0.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_accuracy_empty_mask(self):
+        assert accuracy(np.array([0]), np.array([0]), np.array([], dtype=int)) == 0.0
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), num_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix.sum() == 4
+
+    def test_macro_f1_perfect(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(labels, labels) == pytest.approx(1.0)
+
+    def test_macro_f1_penalises_minority_errors_more_than_accuracy(self):
+        labels = np.array([0] * 9 + [1])
+        predictions = np.array([0] * 10)  # misses the single class-1 node
+        assert accuracy(predictions, labels) == pytest.approx(0.9)
+        assert macro_f1(predictions, labels) < 0.6
+
+    def test_summarize_runs(self):
+        summary = summarize_runs([0.5, 0.7])
+        assert summary["mean"] == pytest.approx(0.6)
+        assert summary["count"] == 2
+        assert summarize_runs([])["count"] == 0

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These target the numerical and structural invariants that must hold for
+*any* input, not just the fixtures: autograd correctness under broadcasting,
+operator stochasticity, homophily metric bounds, AMUD score bounds and the
+idempotence of the undirected transformation.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.amud import amud_score, guidance_score, pattern_profile_correlation
+from repro.graph import DirectedGraph, row_normalized, symmetric_normalized_adjacency, to_undirected
+from repro.graph.generators import DSBMConfig, directed_sbm
+from repro.graph.operators import add_self_loops, directed_pattern_operators
+from repro.metrics import (
+    accuracy,
+    adjusted_homophily,
+    edge_homophily,
+    label_informativeness,
+    node_homophily,
+)
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+# Keep hypothesis example counts small: every example builds matrices.
+FAST = settings(max_examples=25, deadline=None)
+SLOW = settings(max_examples=10, deadline=None)
+
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+def random_digraph_strategy(max_nodes=30):
+    """Strategy producing (dense adjacency, labels) pairs."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=3, max_value=max_nodes))
+        density = draw(st.floats(min_value=0.05, max_value=0.5))
+        seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+        num_classes = draw(st.integers(min_value=2, max_value=4))
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < density).astype(float)
+        np.fill_diagonal(dense, 0)
+        labels = rng.integers(0, num_classes, size=n)
+        return dense, labels
+
+    return build()
+
+
+small_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+    elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+)
+
+
+# ---------------------------------------------------------------------- #
+# Autograd invariants
+# ---------------------------------------------------------------------- #
+class TestAutogradProperties:
+    @FAST
+    @given(small_floats)
+    def test_softmax_rows_sum_to_one(self, array):
+        result = Tensor(array).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(result.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(result >= 0)
+
+    @FAST
+    @given(small_floats)
+    def test_log_softmax_is_log_of_softmax(self, array):
+        tensor = Tensor(array)
+        np.testing.assert_allclose(
+            tensor.log_softmax(axis=-1).numpy(),
+            np.log(tensor.softmax(axis=-1).numpy() + 1e-300),
+            atol=1e-6,
+        )
+
+    @FAST
+    @given(small_floats)
+    def test_sum_gradient_is_ones(self, array):
+        tensor = Tensor(array, requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(array))
+
+    @FAST
+    @given(small_floats, st.floats(min_value=-3, max_value=3, allow_nan=False))
+    def test_linearity_of_gradients(self, array, scale):
+        a = Tensor(array, requires_grad=True)
+        (a * scale).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full_like(array, scale))
+
+    @FAST
+    @given(small_floats)
+    def test_relu_output_nonnegative(self, array):
+        assert np.all(Tensor(array).relu().numpy() >= 0)
+
+    @FAST
+    @given(small_floats)
+    def test_cross_entropy_nonnegative(self, array):
+        labels = np.zeros(array.shape[0], dtype=np.int64)
+        loss = F.cross_entropy(Tensor(array), labels)
+        assert loss.item() >= -1e-9
+
+
+# ---------------------------------------------------------------------- #
+# Graph operator invariants
+# ---------------------------------------------------------------------- #
+class TestOperatorProperties:
+    @FAST
+    @given(random_digraph_strategy())
+    def test_row_normalized_is_stochastic(self, data):
+        dense, _ = data
+        matrix = row_normalized(add_self_loops(sp.csr_matrix(dense)))
+        np.testing.assert_allclose(np.asarray(matrix.sum(axis=1)).ravel(), 1.0, atol=1e-9)
+
+    @FAST
+    @given(random_digraph_strategy())
+    def test_symmetric_normalization_spectrum_bounded(self, data):
+        dense, _ = data
+        symmetric = ((dense + dense.T) > 0).astype(float)
+        normalized = symmetric_normalized_adjacency(sp.csr_matrix(symmetric))
+        eigenvalues = np.linalg.eigvalsh(normalized.toarray())
+        assert eigenvalues.max() <= 1.0 + 1e-8
+        assert eigenvalues.min() >= -1.0 - 1e-8
+
+    @FAST
+    @given(random_digraph_strategy())
+    def test_transpose_pattern_duality(self, data):
+        dense, _ = data
+        patterns = directed_pattern_operators(sp.csr_matrix(dense), order=2)
+        np.testing.assert_array_equal(patterns["A"].toarray(), patterns["At"].T.toarray())
+        np.testing.assert_array_equal(patterns["AAt"].toarray(), patterns["AAt"].T.toarray())
+        np.testing.assert_array_equal(patterns["AtA"].toarray(), patterns["AtA"].T.toarray())
+
+    @FAST
+    @given(random_digraph_strategy())
+    def test_undirected_transform_idempotent(self, data):
+        dense, labels = data
+        graph = DirectedGraph(sp.csr_matrix(dense), np.zeros((dense.shape[0], 2)), labels)
+        once = to_undirected(graph)
+        twice = to_undirected(once)
+        np.testing.assert_array_equal(once.adjacency.toarray(), twice.adjacency.toarray())
+
+
+# ---------------------------------------------------------------------- #
+# Metric invariants
+# ---------------------------------------------------------------------- #
+class TestMetricProperties:
+    @FAST
+    @given(random_digraph_strategy())
+    def test_homophily_metrics_bounded(self, data):
+        dense, labels = data
+        graph = DirectedGraph(sp.csr_matrix(dense), np.zeros((dense.shape[0], 2)), labels)
+        assert 0.0 <= edge_homophily(graph) <= 1.0
+        assert 0.0 <= node_homophily(graph) <= 1.0
+        assert -1.0 <= adjusted_homophily(graph) <= 1.0
+        assert label_informativeness(graph) <= 1.0 + 1e-9
+
+    @FAST
+    @given(random_digraph_strategy())
+    def test_pattern_correlation_bounded(self, data):
+        dense, labels = data
+        correlation = pattern_profile_correlation(sp.csr_matrix(dense), labels)
+        assert -1.0 <= correlation <= 1.0
+
+    @FAST
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(min_value=1, max_value=50),
+            elements=st.integers(min_value=0, max_value=3),
+        )
+    )
+    def test_accuracy_bounded_and_reflexive(self, labels):
+        assert accuracy(labels, labels) == 1.0
+        shuffled = np.roll(labels, 1)
+        assert 0.0 <= accuracy(shuffled, labels) <= 1.0
+
+    @FAST
+    @given(
+        st.dictionaries(
+            keys=st.sampled_from(["A", "At", "AA", "AtAt", "AAt", "AtA"]),
+            values=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_guidance_score_nonnegative(self, r_squared):
+        assert guidance_score(r_squared) >= 0.0
+
+
+# ---------------------------------------------------------------------- #
+# AMUD end-to-end invariants on generated graphs
+# ---------------------------------------------------------------------- #
+class TestAmudProperties:
+    @SLOW
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_amud_score_nonnegative_on_generated_graphs(self, seed, homophily):
+        config = DSBMConfig(
+            num_nodes=120,
+            num_classes=3,
+            avg_degree=4,
+            feature_dim=4,
+            homophily=homophily,
+            directional_asymmetry=0.5,
+            name="hypothesis",
+        )
+        graph = directed_sbm(config, seed=seed)
+        assert amud_score(graph) >= 0.0
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_undirected_graph_scores_below_directed_counterpart(self, seed):
+        """Undirecting a strongly directional graph must not raise its score."""
+        config = DSBMConfig(
+            num_nodes=150,
+            num_classes=3,
+            avg_degree=5,
+            feature_dim=4,
+            homophily=0.15,
+            directional_asymmetry=0.9,
+            name="hypothesis",
+        )
+        graph = directed_sbm(config, seed=seed)
+        assert amud_score(to_undirected(graph)) <= amud_score(graph) + 1e-9
