@@ -14,7 +14,7 @@ import pytest
 from repro.analysis import efficiency_report, format_efficiency_table
 from repro.datasets import load_dataset
 
-from helpers import print_banner
+from helpers import print_banner, write_bench_json
 
 MODELS = ["MLP", "SGC", "GCN", "GPRGNN", "DirGNN", "NSTE", "MagNet", "ADPA"]
 MODEL_KWARGS = {"ADPA": {"hidden": 64, "num_steps": 3}}
@@ -38,9 +38,26 @@ def check_efficiency_shape(profiles):
     assert by_name["ADPA"].seconds_per_epoch < 20 * by_name["NSTE"].seconds_per_epoch
 
 
+def efficiency_payload(profiles) -> dict:
+    """Machine-readable form of the efficiency table for trend tracking."""
+    return {
+        "dataset": profiles[0].dataset if profiles else None,
+        "profiles": [profile.as_row() for profile in profiles],
+    }
+
+
 @pytest.mark.benchmark(group="efficiency")
 def test_efficiency_breakdown(benchmark):
     profiles = benchmark.pedantic(build_efficiency, rounds=1, iterations=1)
     print_banner("Sec. IV-D — preprocessing vs per-epoch cost (squirrel stand-in)")
     print(format_efficiency_table(profiles))
+    path = write_bench_json("efficiency", efficiency_payload(profiles))
+    print(f"wrote {path}")
     check_efficiency_shape(profiles)
+
+
+if __name__ == "__main__":
+    rows = build_efficiency()
+    print(format_efficiency_table(rows))
+    write_bench_json("efficiency", efficiency_payload(rows))
+    check_efficiency_shape(rows)

@@ -1,0 +1,145 @@
+"""Serving-layer benchmark: cold-load vs warm-cache inference latency.
+
+The decoupled complexity argument (paper Sec. IV-D) becomes a serving
+argument once :mod:`repro.serving` caches the preprocess output and the
+frozen-weight logits: a cold request pays artifact load + sparse
+precomputation + forward, while a warm request is a cache hit plus a
+fan-out slice.  This benchmark exports a trained ADPA on the largest
+synthetic dataset, then measures
+
+* **cold**: restore the artifact in-process and run preprocess + forward;
+* **warm**: a single request against the running server (logit cache hot);
+* **micro-batch**: per-request amortised latency when concurrent clients
+  are coalesced into shared batches.
+
+Acceptance: warm-cache inference is at least 5x faster than the cold path,
+and the served predictions match the cold logits exactly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import DATASET_CONFIGS
+from repro.models.registry import create_model
+from repro.serving import InferenceServer, restore_model, save_model
+from repro.training import Trainer
+
+from helpers import print_banner, write_bench_json
+
+MODEL = "ADPA"
+MODEL_KWARGS = {"hidden": 64, "num_steps": 3}
+WARM_ROUNDS = 20
+BATCH_CLIENT_REQUESTS = 64
+
+
+def largest_dataset() -> str:
+    """Name of the biggest registered synthetic dataset (by node count)."""
+    return max(DATASET_CONFIGS, key=lambda name: DATASET_CONFIGS[name].num_nodes)
+
+
+def build_serving_profile() -> dict:
+    dataset = largest_dataset()
+    graph = load_dataset(dataset, seed=0)
+    model = create_model(MODEL, graph, seed=0, **MODEL_KWARGS)
+    Trainer(epochs=10, patience=10).fit(model, graph)
+
+    with tempfile.TemporaryDirectory() as directory:
+        save_model(model, directory, graph=graph)
+
+        # Cold path: fresh process equivalent — artifact load, preprocess,
+        # one forward.
+        start = time.perf_counter()
+        cold_model, cache, _, _ = restore_model(directory)
+        cold_logits = cold_model.predict_logits(graph, cache)
+        cold_seconds = time.perf_counter() - start
+
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=0.5)
+        with server:
+            # Populate the logit cache, then time single warm requests.
+            served = server.predict(node_ids=None)
+            start = time.perf_counter()
+            for _ in range(WARM_ROUNDS):
+                server.predict(node_ids=np.arange(64))
+            warm_seconds = (time.perf_counter() - start) / WARM_ROUNDS
+
+            # Amortised per-request latency under micro-batched load.
+            rng = np.random.default_rng(0)
+            subsets = [
+                rng.choice(graph.num_nodes, size=32, replace=False)
+                for _ in range(BATCH_CLIENT_REQUESTS)
+            ]
+            start = time.perf_counter()
+            tickets = [server.submit(node_ids=ids) for ids in subsets]
+            for ticket in tickets:
+                ticket.result(timeout=120)
+            batched_seconds = (time.perf_counter() - start) / BATCH_CLIENT_REQUESTS
+            stats = server.stats()
+
+    return {
+        "dataset": dataset,
+        "nodes": graph.num_nodes,
+        "model": MODEL,
+        "cold_ms": 1e3 * cold_seconds,
+        "warm_ms": 1e3 * warm_seconds,
+        "batched_ms": 1e3 * batched_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "batched_speedup": cold_seconds / batched_seconds,
+        "requests": stats.requests,
+        "forwards": stats.forwards,
+        "mean_batch_size": stats.mean_batch_size,
+        "exact": bool(np.array_equal(served, cold_logits.argmax(axis=1))),
+    }
+
+
+def check_serving_profile(profile: dict) -> None:
+    # Served predictions must reproduce the cold in-process logits exactly.
+    assert profile["exact"]
+    # The whole point of the cache: warm inference >= 5x faster than cold
+    # preprocess + forward (the ISSUE acceptance threshold).
+    assert profile["warm_speedup"] >= 5.0, profile
+    assert profile["batched_speedup"] >= 5.0, profile
+    # Micro-batching actually coalesced: far fewer forwards than requests.
+    assert profile["forwards"] < profile["requests"]
+
+
+def format_serving_table(profile: dict) -> str:
+    rows = [
+        ("cold load + preprocess + forward", profile["cold_ms"]),
+        ("warm single request", profile["warm_ms"]),
+        ("micro-batched per request", profile["batched_ms"]),
+    ]
+    lines = [f"{'path':<34s}{'latency ms':>12s}{'speedup':>10s}"]
+    for label, value in rows:
+        speedup = profile["cold_ms"] / value if value else float("inf")
+        lines.append(f"{label:<34s}{value:>12.3f}{speedup:>9.1f}x")
+    lines.append(
+        f"{profile['requests']} requests -> {profile['forwards']} forwards "
+        f"(mean batch {profile['mean_batch_size']:.1f})"
+    )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_cold_vs_warm(benchmark):
+    profile = benchmark.pedantic(build_serving_profile, rounds=1, iterations=1)
+    print_banner(
+        f"Serving — cold vs warm-cache inference ({profile['dataset']} stand-in, "
+        f"{profile['nodes']} nodes)"
+    )
+    print(format_serving_table(profile))
+    path = write_bench_json("serving", profile)
+    print(f"wrote {path}")
+    check_serving_profile(profile)
+
+
+if __name__ == "__main__":
+    result = build_serving_profile()
+    print(format_serving_table(result))
+    write_bench_json("serving", result)
+    check_serving_profile(result)

@@ -70,3 +70,18 @@ def print_banner(title: str) -> None:
     print("\n" + "=" * 78)
     print(title)
     print("=" * 78)
+
+
+def write_bench_json(name: str, payload) -> "Path":
+    """Persist a benchmark's results as ``BENCH_<name>.json`` next to it.
+
+    The JSON files are the machine-readable trail of the performance
+    trajectory: each run overwrites its file, and the git history of the
+    numbers is the trend line.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path

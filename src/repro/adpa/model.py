@@ -143,6 +143,14 @@ class ADPA(NodeClassifier):
         num_blocks = num_operators + 1
         if self._modules_built and num_blocks == self._num_blocks:
             return
+        if self._modules_built and self.architecture_frozen:
+            # A rebuild would replace the restored attention weights with
+            # fresh random ones and silently serve garbage; refuse instead.
+            raise RuntimeError(
+                f"restored ADPA was trained with {self._num_blocks - 1} DP operators "
+                f"but this graph selects {num_operators}; the architectures are "
+                "incompatible, so the saved weights cannot serve this graph"
+            )
         self._num_blocks = num_blocks
         self.dp_attention = DirectedPatternAttention(
             in_features=self.num_features,
@@ -165,7 +173,13 @@ class ADPA(NodeClassifier):
     # ------------------------------------------------------------------ #
     def forward(self, cache: Dict[str, object]) -> Tensor:
         if not self._modules_built:
-            raise RuntimeError("ADPA.forward called before preprocess()")
+            # A shared-cache hit can hand this instance a preprocess result
+            # computed by an equal-signature twin; the module shapes are
+            # fully determined by the cache, so build them from it.
+            names = cache.get("operator_names")
+            if names is None:
+                raise RuntimeError("ADPA.forward called before preprocess()")
+            self._build_modules(num_operators=len(names))
         steps: List[List[Tensor]] = cache["steps"]
         hop_representations = []
         for blocks in steps:

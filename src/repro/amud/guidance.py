@@ -80,11 +80,14 @@ def guidance_score(
     max_value = max(values)
     if max_value <= 0:
         return 0.0
-    alpha = 1.0 / max_value
 
+    # Apply the α = 1/max rescale *before* differencing.  Dividing first is
+    # algebraically identical but numerically robust: for subnormal R²
+    # values the squared differences underflow to 0 while 1/max overflows
+    # to inf, and the old ``alpha * spread`` product became inf·0 = nan.
     by_order: Dict[int, list] = {}
     for name, value in r_squared.items():
-        by_order.setdefault(_pattern_order(name), []).append(value)
+        by_order.setdefault(_pattern_order(name), []).append(value / max_value)
     squared_differences = []
     for group in by_order.values():
         squared_differences.extend(
@@ -94,8 +97,7 @@ def guidance_score(
         return 0.0
     if pair_normalizer is None:
         pair_normalizer = float(len(squared_differences))
-    spread = math.sqrt(sum(squared_differences) / pair_normalizer)
-    return float(alpha * spread)
+    return float(math.sqrt(sum(squared_differences) / pair_normalizer))
 
 
 def amud_score(

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Three sub-commands cover the everyday workflows:
+The sub-commands cover the everyday workflows:
 
 ``python -m repro.cli amud <dataset>``
     Print the homophily profile, per-pattern R² and AMUD decision.
@@ -9,6 +9,15 @@ Three sub-commands cover the everyday workflows:
     Train one model (default: the AMUD pipeline's choice) and report
     accuracies.
 
+``python -m repro.cli export <dataset> --out DIR``
+    Train and write a serving artifact (weights + config + graph).
+
+``python -m repro.cli predict <artifact-dir>``
+    Reload an artifact in a fresh process and predict.
+
+``python -m repro.cli serve-bench <artifact-dir>``
+    Drive the micro-batching inference server under concurrent load.
+
 ``python -m repro.cli datasets``
     List the registered benchmark stand-ins with their statistics.
 """
@@ -16,14 +25,19 @@ Three sub-commands cover the everyday workflows:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
+import time
 from typing import List, Optional
+
+import numpy as np
 
 from .amud import amud_decide
 from .datasets import dataset_config, list_datasets, load_dataset
 from .graph import to_undirected
-from .metrics import edge_homophily, homophily_report
-from .models import available_models, get_spec
+from .metrics import accuracy, edge_homophily, homophily_report
+from .models import available_models, create_model, get_spec
 from .pipeline import AmudPipeline
 from .training import Trainer, run_single
 
@@ -31,6 +45,15 @@ from .training import Trainer, run_single
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("dataset", choices=list_datasets(), help="benchmark stand-in to use")
     parser.add_argument("--seed", type=int, default=0, help="generator / split seed")
+
+
+def _single_model_kwargs(model_name: str, hidden: int) -> dict:
+    """Width kwargs for one registry model trained from the CLI.
+
+    SGC is the one registered model without a ``hidden`` kwarg (it is a
+    single linear map by design), so the width is passed to everyone else.
+    """
+    return {} if model_name.lower() == "sgc" else {"hidden": hidden}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,6 +83,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--undirected", action="store_true",
         help="feed the coarse undirected transformation instead of the natural digraph",
     )
+
+    export_parser = subparsers.add_parser(
+        "export", help="train a model and write a serving artifact"
+    )
+    _add_dataset_argument(export_parser)
+    export_parser.add_argument(
+        "--model",
+        default="pipeline",
+        help="registered model name, or 'pipeline' for the AMUD-guided workflow",
+    )
+    export_parser.add_argument("--out", required=True, help="artifact output directory")
+    export_parser.add_argument("--epochs", type=int, default=200)
+    export_parser.add_argument("--patience", type=int, default=30)
+    export_parser.add_argument("--lr", type=float, default=0.01)
+    export_parser.add_argument("--weight-decay", type=float, default=5e-4)
+    export_parser.add_argument("--hidden", type=int, default=64)
+    export_parser.add_argument(
+        "--undirected", action="store_true",
+        help="feed the coarse undirected transformation instead of the natural digraph",
+    )
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="reload a serving artifact and predict node classes"
+    )
+    predict_parser.add_argument("artifact", help="artifact directory written by 'export'")
+    predict_parser.add_argument(
+        "--nodes", type=int, nargs="*", default=None,
+        help="node ids to predict (default: all nodes)",
+    )
+    predict_parser.add_argument(
+        "--json", action="store_true", help="emit predictions as JSON instead of a summary"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "serve-bench", help="benchmark the micro-batching inference server on an artifact"
+    )
+    bench_parser.add_argument("artifact", help="artifact directory written by 'export'")
+    bench_parser.add_argument("--requests", type=int, default=256, help="total requests to issue")
+    bench_parser.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    bench_parser.add_argument("--subset-size", type=int, default=32, help="nodes per request")
+    bench_parser.add_argument("--batch-size", type=int, default=64, help="server micro-batch cap")
+    bench_parser.add_argument("--max-wait-ms", type=float, default=2.0, help="coalescing window")
 
     subparsers.add_parser("datasets", help="list registered datasets")
     models_parser = subparsers.add_parser("models", help="list registered models")
@@ -102,12 +167,141 @@ def _command_train(args: argparse.Namespace) -> int:
 
     get_spec(args.model)  # raises KeyError for unknown names
     view = to_undirected(graph) if args.undirected else graph
-    model_kwargs = {} if args.model.lower() == "sgc" else {"hidden": args.hidden}
+    model_kwargs = _single_model_kwargs(args.model, args.hidden)
     result = run_single(args.model, view, seed=args.seed, trainer=trainer, model_kwargs=model_kwargs)
     print(f"model: {args.model}  input: {'U-' if args.undirected else 'D-'}{graph.name}")
     print(f"val accuracy:  {result.val_accuracy:.4f}")
     print(f"test accuracy: {result.test_accuracy:.4f}")
     print(f"best epoch:    {result.best_epoch} / {result.epochs_run}")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from .serving import save_model
+
+    graph = load_dataset(args.dataset, seed=args.seed)
+    trainer = Trainer(
+        lr=args.lr, weight_decay=args.weight_decay, epochs=args.epochs, patience=args.patience
+    )
+    if args.model == "pipeline":
+        pipeline = AmudPipeline(
+            trainer=trainer,
+            model_kwargs={"directed": {"hidden": args.hidden}},
+            seed=args.seed,
+        )
+        result = pipeline.fit(graph)
+        path = pipeline.save(args.out)
+        print(f"AMUD score {result.decision.score:.3f} -> {result.decision.modeling}")
+        print(f"model: {result.model_name}  test accuracy: {result.test_accuracy:.4f}")
+        print(f"artifact: {path}")
+        return 0
+
+    get_spec(args.model)
+    view = to_undirected(graph) if args.undirected else graph
+    model = create_model(
+        args.model, view, seed=args.seed, **_single_model_kwargs(args.model, args.hidden)
+    )
+    train_result = trainer.fit(model, view)
+    metadata = {
+        "kind": "model",
+        "dataset": args.dataset,
+        "dataset_seed": args.seed,
+        "input_view": "undirected" if args.undirected else "directed",
+        "train_result": {
+            "train_accuracy": train_result.train_accuracy,
+            "val_accuracy": train_result.val_accuracy,
+            "test_accuracy": train_result.test_accuracy,
+            "best_epoch": train_result.best_epoch,
+            "epochs_run": train_result.epochs_run,
+        },
+    }
+    path = save_model(model, args.out, metadata=metadata, graph=view)
+    print(f"model: {args.model}  test accuracy: {train_result.test_accuracy:.4f}")
+    print(f"artifact: {path}")
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    from .serving import restore_model
+
+    model, cache, artifact, graph = restore_model(args.artifact)
+    logits = model.predict_logits(graph, cache)
+    predictions = logits.argmax(axis=1)
+    node_ids = (
+        np.arange(graph.num_nodes)
+        if args.nodes is None
+        else np.asarray(args.nodes, dtype=np.int64)
+    )
+
+    if args.json:
+        print(json.dumps({
+            "model": artifact.model_name,
+            "graph": graph.name,
+            "nodes": node_ids.tolist(),
+            "predictions": predictions[node_ids].tolist(),
+        }))
+        return 0
+
+    print(f"model: {artifact.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
+    if graph.test_mask is not None:
+        print(f"test accuracy: {accuracy(predictions, graph.labels, graph.test_mask):.4f}")
+    shown = node_ids[:10]
+    listing = ", ".join(f"{node}->{predictions[node]}" for node in shown)
+    suffix = "" if len(node_ids) <= 10 else f"  (+{len(node_ids) - 10} more)"
+    print(f"predictions: {listing}{suffix}")
+    return 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from .serving import InferenceServer
+
+    server, artifact = InferenceServer.from_artifact(
+        args.artifact, max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms
+    )
+    graph = server.graph
+    rng = np.random.default_rng(0)
+    subset_size = min(args.subset_size, graph.num_nodes)
+    per_client = max(1, args.requests // args.clients)
+
+    def client(worker_seed: int) -> None:
+        local_rng = np.random.default_rng(worker_seed)
+        tickets = []
+        for _ in range(per_client):
+            ids = local_rng.choice(graph.num_nodes, size=subset_size, replace=False)
+            tickets.append(server.submit(node_ids=ids))
+        for ticket in tickets:
+            ticket.result(timeout=120)
+
+    with server:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(int(rng.integers(1 << 31)),))
+            for _ in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = server.stats()
+
+    print(f"model: {artifact.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
+    print(
+        f"served {stats.requests} requests in {elapsed:.3f}s "
+        f"({stats.requests / elapsed:.1f} req/s)"
+    )
+    print(
+        f"batches: {stats.batches}  forwards: {stats.forwards}  "
+        f"mean batch size: {stats.mean_batch_size:.1f}"
+    )
+    print(
+        f"latency: mean {stats.mean_latency_ms:.2f} ms  max {stats.max_latency_ms:.2f} ms"
+    )
+    cache_stats = stats.cache.as_dict()
+    print(
+        f"operator cache: {cache_stats['hits']} hits / {cache_stats['misses']} misses "
+        f"(hit rate {cache_stats['hit_rate']:.2%})"
+    )
     return 0
 
 
@@ -135,6 +329,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "amud": _command_amud,
         "train": _command_train,
+        "export": _command_export,
+        "predict": _command_predict,
+        "serve-bench": _command_serve_bench,
         "datasets": _command_datasets,
         "models": _command_models,
     }

@@ -1,0 +1,88 @@
+"""Content-hashing primitives: graph, model and cache-key fingerprints.
+
+This is a leaf module — it imports nothing from the rest of the package —
+so the foundational layers (:mod:`repro.graph`, :mod:`repro.models`) and
+the serving layer can all depend on it without cycles.
+
+A graph is fingerprinted by hashing the raw bytes of its CSR adjacency
+(indptr / indices / data), the dense feature matrix, the labels and the
+split masks, each tagged with its shape and dtype so that e.g. a ``(6, 4)``
+float64 matrix can never collide with a ``(24,)`` one holding the same
+bytes.  Model fingerprints hash the registry name plus the constructor
+kwargs, so a cache entry is only reused by a model that would preprocess
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+#: hex digest length; 16 bytes of blake2b is ample for cache keying.
+DIGEST_SIZE = 16
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=DIGEST_SIZE)
+
+
+def _update_with_array(hasher, tag: str, array: Optional[np.ndarray]) -> None:
+    """Feed one (possibly absent) array into ``hasher``, self-delimiting."""
+    if array is None:
+        hasher.update(f"{tag}:none;".encode())
+        return
+    array = np.ascontiguousarray(array)
+    header = f"{tag}:{array.dtype.str}:{array.shape};"
+    hasher.update(header.encode())
+    hasher.update(array.tobytes())
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Hex digest of a single ndarray (dtype- and shape-aware)."""
+    hasher = _hasher()
+    _update_with_array(hasher, "array", array)
+    return hasher.hexdigest()
+
+
+def graph_fingerprint(graph) -> str:
+    """Hex digest of everything a ``preprocess()`` call can observe.
+
+    ``graph`` is duck-typed as a :class:`repro.graph.digraph.DirectedGraph`
+    (adjacency + features + labels + masks).
+    """
+    adjacency = graph.adjacency.tocsr()
+    hasher = _hasher()
+    _update_with_array(hasher, "indptr", adjacency.indptr)
+    _update_with_array(hasher, "indices", adjacency.indices)
+    _update_with_array(hasher, "data", adjacency.data)
+    _update_with_array(hasher, "features", graph.features)
+    _update_with_array(hasher, "labels", graph.labels)
+    _update_with_array(hasher, "train_mask", graph.train_mask)
+    _update_with_array(hasher, "val_mask", graph.val_mask)
+    _update_with_array(hasher, "test_mask", graph.test_mask)
+    return hasher.hexdigest()
+
+
+def model_fingerprint(model_name: str, model_kwargs: Optional[Dict] = None) -> str:
+    """Hex digest of a model configuration (registry name + kwargs).
+
+    Kwargs are serialised through canonical JSON so dict ordering cannot
+    change the key; non-JSON values fall back to ``repr`` (stable for the
+    scalar types the model zoo uses).
+    """
+    payload = json.dumps(
+        {"name": model_name.lower(), "kwargs": model_kwargs or {}},
+        sort_keys=True,
+        default=repr,
+    )
+    hasher = _hasher()
+    hasher.update(payload.encode())
+    return hasher.hexdigest()
+
+
+def preprocess_key(model, graph) -> str:
+    """Cache key joining a model's signature with a graph's fingerprint."""
+    return f"{model.signature()}/{graph.fingerprint()}"

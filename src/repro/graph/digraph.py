@@ -21,6 +21,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..fingerprint import graph_fingerprint
+
 
 @dataclass
 class DirectedGraph:
@@ -122,6 +124,23 @@ class DirectedGraph:
         """Fraction of nodes in each class."""
         counts = np.bincount(self.labels, minlength=self.num_classes)
         return counts / max(self.labels.size, 1)
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph (CSR structure, features, labels, splits).
+
+        Two graphs with identical arrays share a fingerprint regardless of
+        ``name``/``meta``, which is what makes the serving-layer operator
+        cache (:mod:`repro.serving.cache`) safe: any array change — an edge,
+        a weight, a feature value, a split flip — yields a new key.  Graphs
+        are treated as immutable after construction, so the digest is cached
+        on first use; call :meth:`with_` / :meth:`copy` rather than mutating
+        arrays in place.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is None:
+            cached = graph_fingerprint(self)
+            object.__setattr__(self, "_fingerprint_cache", cached)
+        return cached
 
     # -------------------------------------------------------------- #
     # Derived views

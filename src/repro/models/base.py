@@ -19,12 +19,18 @@ top of this contract, so model files stay focused on the architecture.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Optional
 
 import numpy as np
 
+from ..fingerprint import model_fingerprint, preprocess_key
 from ..graph.digraph import DirectedGraph
 from ..nn import Module, Tensor
+
+
+#: process-unique identities for models that bypass the registry.
+_SIGNATURE_TOKENS = itertools.count()
 
 
 class NodeClassifier(Module):
@@ -39,6 +45,11 @@ class NodeClassifier(Module):
     #: models symmetrise their input inside ``preprocess``.
     directed: bool = False
 
+    #: set on instances restored from a serving artifact: lazily-built
+    #: modules must not be re-created with a different shape once trained
+    #: weights have been loaded (see :class:`repro.adpa.model.ADPA`).
+    architecture_frozen: bool = False
+
     def __init__(self, num_features: int, num_classes: int) -> None:
         super().__init__()
         if num_features < 1 or num_classes < 2:
@@ -52,12 +63,60 @@ class NodeClassifier(Module):
     # Contract
     # ------------------------------------------------------------------ #
     def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
-        """Build the training-independent cache for ``graph``."""
+        """Build the training-independent cache for ``graph``.
+
+        Serving contract: the returned cache must be a pure function of the
+        model configuration and the graph *content* (adjacency, features,
+        labels, splits) — no randomness, no dependence on parameter values —
+        so that :class:`repro.serving.cache.OperatorCache` can key it by
+        ``(signature, graph fingerprint)`` and share it across reloads of
+        the same model.  Models that build modules lazily inside
+        ``preprocess`` (e.g. ADPA) must make the construction deterministic
+        in shape, because restored weights are loaded *after* one preprocess
+        call.
+        """
         raise NotImplementedError
 
     def forward(self, cache: Dict[str, object]) -> Tensor:
         """Compute class logits from a cache built by :meth:`preprocess`."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Preprocess-cache contract
+    # ------------------------------------------------------------------ #
+    def signature(self) -> str:
+        """Stable identity of this model's *preprocessing configuration*.
+
+        Two models with equal signatures must produce identical
+        ``preprocess`` output on identical graphs.  Models constructed via
+        :func:`repro.models.registry.create_model` carry their registry name
+        and constructor kwargs and get a content-addressed signature;
+        hand-constructed models fall back to a per-instance identity, which
+        is always safe (never shared, never stale).
+        """
+        name = getattr(self, "_registry_name", None)
+        if name is None:
+            # A process-unique token, not id(): addresses are recycled after
+            # GC, and a recycled id could silently alias a stale cache entry.
+            token = getattr(self, "_signature_token", None)
+            if token is None:
+                token = next(_SIGNATURE_TOKENS)
+                self._signature_token = token
+            return f"{type(self).__name__}#{token}"
+        kwargs = getattr(self, "_init_kwargs", {})
+        return f"{name}:{model_fingerprint(name, kwargs)}"
+
+    def preprocess_cached(self, graph: DirectedGraph, cache) -> Dict[str, object]:
+        """Fetch (or build) the preprocess output through a shared cache.
+
+        ``cache`` is any object with ``get_or_compute(key, factory)`` — in
+        practice the LRU behind :class:`repro.serving.cache.OperatorCache`,
+        whose ``preprocess`` method delegates here so the key format lives
+        in exactly one place.
+        """
+        return cache.get_or_compute(
+            preprocess_key(self, graph), lambda: self.preprocess(graph)
+        )
 
     # ------------------------------------------------------------------ #
     # Convenience inference helpers

@@ -71,11 +71,19 @@ def get_spec(name: str) -> ModelSpec:
 
 
 def create_model(name: str, graph: DirectedGraph, **kwargs) -> NodeClassifier:
-    """Instantiate a registered model with dimensions taken from ``graph``."""
+    """Instantiate a registered model with dimensions taken from ``graph``.
+
+    The registry name and constructor kwargs are stamped onto the instance so
+    the serving layer (:mod:`repro.serving.artifacts`) can export the model
+    and rebuild it bit-exactly in another process.
+    """
     spec = get_spec(name)
-    return spec.constructor(
+    model = spec.constructor(
         num_features=graph.num_features, num_classes=graph.num_classes, **kwargs
     )
+    model._registry_name = spec.name
+    model._init_kwargs = dict(kwargs)
+    return model
 
 
 def available_models(category: Optional[str] = None) -> List[str]:

@@ -38,6 +38,7 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+        self._buffer_names: List[str] = []
 
     # -------------------------------------------------------------- #
     # Parameter / module discovery
@@ -58,6 +59,26 @@ class Module:
 
     def parameters(self) -> List[Parameter]:
         return [param for _, param in self.named_parameters()]
+
+    # -------------------------------------------------------------- #
+    # Buffers: non-trainable ndarray state (e.g. batch-norm statistics)
+    # that must survive a state-dict round trip for inference to be
+    # reproducible after reload.
+    # -------------------------------------------------------------- #
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register ``value`` as persistent, non-trainable state.
+
+        The attribute stays a plain ndarray and may be reassigned freely
+        (running statistics do this every training step); only the *name*
+        is recorded, so :meth:`named_buffers` always sees the live value.
+        """
+        setattr(self, name, np.asarray(value))
+        if name not in self._buffer_names:
+            self._buffer_names.append(name)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple]:
+        for name, (owner, attr) in self._buffer_owners(prefix).items():
+            yield name, getattr(owner, attr)
 
     def modules(self) -> Iterator["Module"]:
         yield self
@@ -83,18 +104,43 @@ class Module:
         return self.train(False)
 
     # -------------------------------------------------------------- #
-    # State dict (plain ndarray copies, useful for early stopping)
+    # State dict (plain ndarray copies: early stopping + serving
+    # artifacts).  Copies preserve each array's dtype so an export /
+    # reload round trip through ``.npz`` is bit-exact.
     # -------------------------------------------------------------- #
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update({name: np.array(buffer, copy=True) for name, buffer in self.named_buffers()})
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        current = dict(self.named_parameters())
-        missing = set(state) - set(current)
+        params = dict(self.named_parameters())
+        buffer_owners = self._buffer_owners()
+        missing = set(state) - set(params) - set(buffer_owners)
         if missing:
             raise KeyError(f"state dict contains unknown parameters: {sorted(missing)}")
         for name, value in state.items():
-            current[name].data = np.array(value, dtype=current[name].data.dtype)
+            if name in params:
+                params[name].data = np.array(value, dtype=params[name].data.dtype)
+            else:
+                owner, attr = buffer_owners[name]
+                current = getattr(owner, attr)
+                setattr(owner, attr, np.array(value, dtype=current.dtype))
+
+    def _buffer_owners(self, prefix: str = "") -> Dict[str, tuple]:
+        """Map dotted buffer names to ``(owning module, attribute)`` pairs."""
+        owners: Dict[str, tuple] = {}
+        for name in getattr(self, "_buffer_names", ()):
+            owners[f"{prefix}{name}"] = (self, name)
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Module):
+                owners.update(value._buffer_owners(prefix=f"{full_name}."))
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        owners.update(item._buffer_owners(prefix=f"{full_name}.{index}."))
+        return owners
 
     def zero_grad(self) -> None:
         for param in self.parameters():
@@ -179,8 +225,8 @@ class BatchNorm(Module):
         self.momentum = momentum
         self.gamma = Parameter(init.ones((num_features,)))
         self.beta = Parameter(init.zeros((num_features,)))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

@@ -17,7 +17,8 @@ lines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from .amud.guidance import AmudDecision, apply_amud
 from .graph.digraph import DirectedGraph
@@ -123,3 +124,113 @@ class AmudPipeline:
             raise RuntimeError("pipeline has not been fitted yet")
         target = graph if graph is not None else self._result.modeled_graph
         return self._model.predict(target)
+
+    # ------------------------------------------------------------------ #
+    # Persistence (serving artifacts)
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Export the fitted pipeline as a self-contained serving artifact.
+
+        The directory holds the trained model's weights, the AMUD decision
+        and pipeline configuration (as artifact metadata) and the modeled
+        graph, so :meth:`load` in a fresh process reproduces in-memory
+        predictions exactly.
+        """
+        from .serving.artifacts import save_model
+
+        if self._model is None or self._result is None:
+            raise RuntimeError("pipeline has not been fitted yet")
+        result = self._result
+        decision = result.decision
+        train = result.train_result
+        metadata = {
+            "kind": "amud-pipeline",
+            "pipeline": {
+                "undirected_model": self.undirected_model,
+                "directed_model": self.directed_model,
+                "threshold": self.threshold,
+                "seed": self.seed,
+                "model_kwargs": self.model_kwargs,
+                "trainer": {
+                    "lr": self.trainer.lr,
+                    "weight_decay": self.trainer.weight_decay,
+                    "epochs": self.trainer.epochs,
+                    "patience": self.trainer.patience,
+                    "optimizer": self.trainer.optimizer_name,
+                },
+            },
+            "model_name": result.model_name,
+            "decision": {
+                "score": float(decision.score),
+                "keep_directed": bool(decision.keep_directed),
+                "threshold": float(decision.threshold),
+                "r_squared": {k: float(v) for k, v in decision.r_squared.items()},
+                "correlations": {k: float(v) for k, v in decision.correlations.items()},
+            },
+            "train_result": {
+                "train_accuracy": float(train.train_accuracy),
+                "val_accuracy": float(train.val_accuracy),
+                "test_accuracy": float(train.test_accuracy),
+                "best_epoch": int(train.best_epoch),
+                "epochs_run": int(train.epochs_run),
+            },
+        }
+        return save_model(
+            self._model,
+            directory,
+            metadata=metadata,
+            graph=result.modeled_graph,
+        )
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "AmudPipeline":
+        """Restore a pipeline saved with :meth:`save`, ready to predict."""
+        from .serving.artifacts import load_artifact, load_artifact_graph
+
+        artifact = load_artifact(directory)
+        metadata = artifact.metadata
+        if metadata.get("kind") != "amud-pipeline":
+            raise ValueError(
+                f"artifact at {directory} is not a pipeline export "
+                f"(kind={metadata.get('kind')!r}); use repro.serving.restore_model"
+            )
+        graph = load_artifact_graph(directory)
+        if graph is None:
+            raise FileNotFoundError(f"pipeline artifact {directory} ships no graph.npz")
+
+        config = metadata["pipeline"]
+        trainer_config = config.get("trainer")
+        pipeline = cls(
+            undirected_model=config["undirected_model"],
+            directed_model=config["directed_model"],
+            threshold=config["threshold"],
+            seed=config["seed"],
+            trainer=Trainer(**trainer_config) if trainer_config else None,
+            model_kwargs={
+                branch: dict(kwargs)
+                for branch, kwargs in config.get("model_kwargs", {}).items()
+            },
+        )
+        model, _ = artifact.restore(graph)
+        saved_decision = metadata["decision"]
+        saved_train = metadata["train_result"]
+        pipeline._model = model
+        pipeline._result = PipelineResult(
+            decision=AmudDecision(
+                score=saved_decision["score"],
+                keep_directed=saved_decision["keep_directed"],
+                threshold=saved_decision["threshold"],
+                r_squared=dict(saved_decision.get("r_squared", {})),
+                correlations=dict(saved_decision.get("correlations", {})),
+            ),
+            model_name=metadata["model_name"],
+            train_result=TrainResult(
+                train_accuracy=saved_train["train_accuracy"],
+                val_accuracy=saved_train["val_accuracy"],
+                test_accuracy=saved_train["test_accuracy"],
+                best_epoch=saved_train["best_epoch"],
+                epochs_run=saved_train["epochs_run"],
+            ),
+            modeled_graph=graph,
+        )
+        return pipeline

@@ -1,0 +1,46 @@
+"""Serving layer: artifacts, operator caching and micro-batched inference.
+
+Takes any trained registry model or :class:`repro.pipeline.AmudPipeline`
+from "trained in memory" to "served under concurrent load":
+
+* :mod:`repro.serving.artifacts` — versioned save/load of weights + config;
+* :mod:`repro.serving.fingerprint` — content hashes of graphs and models;
+* :mod:`repro.serving.cache` — bounded LRU reuse of ``preprocess()`` output;
+* :mod:`repro.serving.engine` — the micro-batching :class:`InferenceServer`.
+"""
+
+from .artifacts import (
+    FORMAT_VERSION,
+    ModelArtifact,
+    load_artifact,
+    load_artifact_graph,
+    restore_model,
+    save_model,
+)
+from .cache import CacheStats, LRUCache, OperatorCache
+from .engine import InferenceServer, InferenceTicket, ServerStats
+from .fingerprint import (
+    array_digest,
+    graph_fingerprint,
+    model_fingerprint,
+    preprocess_key,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ModelArtifact",
+    "save_model",
+    "load_artifact",
+    "load_artifact_graph",
+    "restore_model",
+    "LRUCache",
+    "OperatorCache",
+    "CacheStats",
+    "InferenceServer",
+    "InferenceTicket",
+    "ServerStats",
+    "array_digest",
+    "graph_fingerprint",
+    "model_fingerprint",
+    "preprocess_key",
+]

@@ -1,0 +1,158 @@
+"""Bounded, thread-safe LRU caches for the serving layer.
+
+Two layers of reuse make warm inference cheap:
+
+* :class:`LRUCache` — a generic bounded mapping with hit/miss/eviction
+  counters, safe to share between the request threads of
+  :class:`repro.serving.engine.InferenceServer`;
+* :class:`OperatorCache` — an LRU specialised to ``preprocess()`` results,
+  keyed by ``(model signature, graph fingerprint)``.  A hit skips *all*
+  sparse precomputation (DP operator construction, K-step propagation),
+  which is the dominant cost of the decoupled models.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from .fingerprint import preprocess_key
+
+#: default number of (model, graph) preprocess results kept in memory.
+DEFAULT_CAPACITY = 8
+
+
+@dataclass
+class CacheStats:
+    """Counters snapshot; hits/misses count lookups, not stores."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with instrumentation.
+
+    ``get_or_compute`` holds the lock across the factory call, so concurrent
+    requests for the same key compute the value exactly once.  That
+    serialises cache *fills* — acceptable here because the inference engine
+    funnels all preprocessing through a single worker thread and fills are
+    rare by design (that is the point of the cache).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Any, factory: Callable[[], Any]) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            value = factory()
+            self.put(key, value)
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+class OperatorCache:
+    """LRU cache of ``model.preprocess(graph)`` results.
+
+    The key combines the model signature (registry name, constructor kwargs,
+    dimensions) with the graph content fingerprint, so a hit is guaranteed to
+    be the byte-identical cache the model would have rebuilt.  Stored values
+    are whatever ``preprocess`` returned — including the DP operator sets the
+    decoupled models stash in their caches — so repeated requests on the same
+    graph skip every sparse product.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._cache = LRUCache(capacity)
+
+    def preprocess(self, model, graph) -> Dict[str, object]:
+        """Return the cached preprocess result, computing it on first use."""
+        return model.preprocess_cached(graph, self._cache)
+
+    def lookup(self, model, graph) -> Optional[Dict[str, object]]:
+        """Peek without computing; ``None`` on a miss."""
+        return self._cache.get(preprocess_key(model, graph))
+
+    def seed(self, model, graph, value: Dict[str, object]) -> None:
+        """Insert an already-computed preprocess result (artifact restore)."""
+        self._cache.put(preprocess_key(model, graph), value)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def stats(self) -> CacheStats:
+        return self._cache.stats()

@@ -1,0 +1,375 @@
+"""Micro-batching inference engine for node-classification requests.
+
+The serving observation behind the paper's decoupled design: once
+``preprocess()`` is cached, a forward pass prices the *whole graph* at MLP
+cost, so concurrent requests for node subsets should never each pay for
+their own forward.  :class:`InferenceServer` therefore runs a single worker
+thread that
+
+1. pulls the first pending request off a thread-safe queue,
+2. coalesces everything else that arrives within ``max_wait_ms`` (up to
+   ``max_batch_size`` requests) into one micro-batch,
+3. groups the batch by graph fingerprint, runs **one** forward per distinct
+   graph (preprocess served from the shared :class:`OperatorCache`),
+4. fans the logit rows back out to each request's ticket.
+
+Per-request latency and batch/forward counters are tracked so the
+``serve-bench`` CLI and :mod:`benchmarks.bench_serving` can report
+throughput under load.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graph.digraph import DirectedGraph
+from ..models.base import NodeClassifier
+from .artifacts import ModelArtifact, restore_model
+from .cache import CacheStats, LRUCache, OperatorCache
+
+#: queue sentinel telling the worker thread to exit.
+_STOP = object()
+
+#: how many completed-request latencies the rolling window keeps.
+LATENCY_WINDOW = 10_000
+
+
+class InferenceTicket:
+    """Handle returned by :meth:`InferenceServer.submit`.
+
+    ``result()`` blocks until the worker has fanned the batch back out and
+    returns the predicted class per requested node; ``logits`` holds the raw
+    rows for callers that need scores.
+    """
+
+    def __init__(self, node_ids: Optional[np.ndarray], graph: DirectedGraph) -> None:
+        self.node_ids = node_ids
+        self.graph = graph
+        self.enqueued_at = time.perf_counter()
+        self.latency_seconds: Optional[float] = None
+        self._done = threading.Event()
+        self._predictions: Optional[np.ndarray] = None
+        self._logits: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def _complete(self, logits: np.ndarray) -> None:
+        self._logits = logits
+        self._predictions = logits.argmax(axis=1)
+        self.latency_seconds = time.perf_counter() - self.enqueued_at
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.latency_seconds = time.perf_counter() - self.enqueued_at
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        if not self._done.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._predictions
+
+    @property
+    def logits(self) -> np.ndarray:
+        if not self._done.is_set() or self._logits is None:
+            raise RuntimeError("request has not completed successfully")
+        return self._logits
+
+
+@dataclass
+class ServerStats:
+    """Point-in-time serving counters."""
+
+    requests: int
+    batches: int
+    forwards: int
+    mean_batch_size: float
+    mean_latency_ms: float
+    max_latency_ms: float
+    uptime_seconds: float
+    requests_per_second: float
+    cache: CacheStats
+    logit_cache: CacheStats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "forwards": self.forwards,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "mean_latency_ms": round(self.mean_latency_ms, 3),
+            "max_latency_ms": round(self.max_latency_ms, 3),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "requests_per_second": round(self.requests_per_second, 1),
+            "cache": self.cache.as_dict(),
+            "logit_cache": self.logit_cache.as_dict(),
+        }
+
+
+class InferenceServer:
+    """Serve node predictions from a trained model under concurrent load.
+
+    The model is owned by the single worker thread (the autograd modules are
+    not thread-safe); client threads only touch the queue and their tickets.
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        model: NodeClassifier,
+        graph: DirectedGraph,
+        *,
+        operator_cache: Optional[OperatorCache] = None,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_logits: bool = True,
+        logit_cache_capacity: int = 8,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.model = model.eval()
+        self.graph = graph
+        self.cache = operator_cache if operator_cache is not None else OperatorCache()
+        # Serving assumes frozen weights, so full-graph eval logits are a
+        # pure function of the graph fingerprint and can be memoised; call
+        # :meth:`clear_logit_cache` if the model's parameters are mutated.
+        self.cache_logits = cache_logits
+        self._logit_cache = LRUCache(logit_cache_capacity)
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_ms / 1000.0
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+        # Guards the running-flag check-then-enqueue in submit() against a
+        # concurrent stop(): without it a ticket could land behind the
+        # sentinel after the drain and leave its client blocked forever.
+        self._lifecycle_lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._metrics_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._forwards = 0
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_artifact(
+        cls,
+        directory: Union[str, Path],
+        graph: Optional[DirectedGraph] = None,
+        **server_kwargs,
+    ) -> Tuple["InferenceServer", ModelArtifact]:
+        """Load an artifact and build a server with a pre-warmed cache.
+
+        The preprocess performed while restoring the weights is seeded into
+        the operator cache, so the very first request is already warm.
+        """
+        model, cache, artifact, target = restore_model(directory, graph)
+        server = cls(model, target, **server_kwargs)
+        server.cache.seed(model, target, cache)
+        return server, artifact
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceServer":
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            if self._worker is not None:
+                raise RuntimeError(
+                    "previous worker thread has not exited; refusing to start a "
+                    "second worker against the same model"
+                )
+            self._running = True
+            self._started_at = time.perf_counter()
+            self._worker = threading.Thread(target=self._serve_loop, daemon=True)
+            self._worker.start()
+            return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(_STOP)
+            if self._worker is not None:
+                self._worker.join(timeout)
+                if self._worker.is_alive():
+                    # The worker still owns the queue and the model; leave
+                    # both alone (start() will refuse until it exits).
+                    return
+                self._worker = None
+            # The worker exits at the sentinel, but tickets enqueued before
+            # it (or left behind by an early stop_after_batch exit) would
+            # otherwise block their clients forever; fail them instead.
+            while True:
+                try:
+                    leftover = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if leftover is not _STOP:
+                    leftover._fail(
+                        RuntimeError("InferenceServer stopped before serving request")
+                    )
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    def warm(self, graph: Optional[DirectedGraph] = None) -> None:
+        """Populate the operator cache for ``graph`` (default: the bound one).
+
+        Must be called before :meth:`start`: preprocessing can mutate the
+        model (lazy module construction), and once the server is running the
+        model belongs exclusively to the worker thread.  A running server
+        warms lazily through the request path instead.
+        """
+        with self._lifecycle_lock:
+            if self._running:
+                raise RuntimeError(
+                    "warm() is only allowed before start(); a running server "
+                    "warms caches through the request path"
+                )
+            self.cache.preprocess(self.model, graph if graph is not None else self.graph)
+
+    def clear_logit_cache(self) -> None:
+        """Drop memoised logits (required after any weight mutation)."""
+        self._logit_cache.clear()
+
+    def submit(
+        self,
+        node_ids: Optional[Sequence[int]] = None,
+        graph: Optional[DirectedGraph] = None,
+    ) -> InferenceTicket:
+        """Enqueue a prediction request for a node subset (``None`` = all)."""
+        ids = None if node_ids is None else np.asarray(node_ids, dtype=np.int64)
+        if ids is not None and ids.size and ids.min() < 0:
+            # Negative ids would wrap via fancy indexing and silently return
+            # another node's prediction; reject them at the door instead.
+            raise ValueError(f"node_ids must be non-negative, got min {ids.min()}")
+        ticket = InferenceTicket(ids, graph if graph is not None else self.graph)
+        with self._lifecycle_lock:
+            if not self._running:
+                raise RuntimeError("InferenceServer is not running; call start() first")
+            self._queue.put(ticket)
+        return ticket
+
+    def predict(
+        self,
+        node_ids: Optional[Sequence[int]] = None,
+        graph: Optional[DirectedGraph] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(node_ids, graph).result(timeout)
+
+    def stats(self) -> ServerStats:
+        with self._metrics_lock:
+            latencies = list(self._latencies)
+            requests, batches, forwards = self._requests, self._batches, self._forwards
+        uptime = (
+            time.perf_counter() - self._started_at if self._started_at is not None else 0.0
+        )
+        return ServerStats(
+            requests=requests,
+            batches=batches,
+            forwards=forwards,
+            mean_batch_size=requests / batches if batches else 0.0,
+            mean_latency_ms=1e3 * float(np.mean(latencies)) if latencies else 0.0,
+            max_latency_ms=1e3 * float(np.max(latencies)) if latencies else 0.0,
+            uptime_seconds=uptime,
+            requests_per_second=requests / uptime if uptime > 0 else 0.0,
+            cache=self.cache.stats(),
+            logit_cache=self._logit_cache.stats(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            deadline = time.perf_counter() + self.max_wait_seconds
+            stop_after_batch = False
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_after_batch = True
+                    break
+                batch.append(nxt)
+            self._process_batch(batch)
+            if stop_after_batch:
+                break
+
+    def _process_batch(self, batch: List[InferenceTicket]) -> None:
+        groups: Dict[str, List[InferenceTicket]] = {}
+        graphs: Dict[str, DirectedGraph] = {}
+        for ticket in batch:
+            key = ticket.graph.fingerprint()
+            groups.setdefault(key, []).append(ticket)
+            graphs.setdefault(key, ticket.graph)
+
+        forwards = 0
+        for key, tickets in groups.items():
+            graph = graphs[key]
+            try:
+                logits = self._logit_cache.get(key) if self.cache_logits else None
+                if logits is None:
+                    cache = self.cache.preprocess(self.model, graph)
+                    logits = self.model.predict_logits(graph, cache)
+                    forwards += 1
+                    if self.cache_logits:
+                        # Full-graph tickets alias this array; freeze it so a
+                        # client mutating ticket.logits in place cannot
+                        # corrupt the cached copy served to later requests.
+                        logits.setflags(write=False)
+                        self._logit_cache.put(key, logits)
+            except BaseException as error:  # fan the failure out, keep serving
+                for ticket in tickets:
+                    ticket._fail(error)
+                continue
+            for ticket in tickets:
+                try:
+                    rows = logits if ticket.node_ids is None else logits[ticket.node_ids]
+                    ticket._complete(rows)
+                except BaseException as error:  # e.g. out-of-range node ids
+                    ticket._fail(error)
+
+        with self._metrics_lock:
+            self._requests += len(batch)
+            self._batches += 1
+            self._forwards += forwards
+            for ticket in batch:
+                if ticket.latency_seconds is not None:
+                    self._latencies.append(ticket.latency_seconds)

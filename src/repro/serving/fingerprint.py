@@ -1,0 +1,24 @@
+"""Serving-layer view of the content-hashing primitives.
+
+The implementations live in the leaf module :mod:`repro.fingerprint` (so
+the graph and model layers can use them without importing the serving
+package); this module re-exports them under the serving namespace.
+"""
+
+from __future__ import annotations
+
+from ..fingerprint import (
+    DIGEST_SIZE,
+    array_digest,
+    graph_fingerprint,
+    model_fingerprint,
+    preprocess_key,
+)
+
+__all__ = [
+    "DIGEST_SIZE",
+    "array_digest",
+    "graph_fingerprint",
+    "model_fingerprint",
+    "preprocess_key",
+]

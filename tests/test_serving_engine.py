@@ -1,0 +1,190 @@
+"""Inference engine behaviour and the serving CLI subcommands."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.models import create_model
+from repro.serving import InferenceServer, save_model
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_export(tmp_path_factory):
+    """A trained MLP artifact directory shared by the engine tests."""
+    from repro.datasets import load_dataset
+
+    graph = load_dataset("texas", seed=0)
+    model = create_model("MLP", graph, seed=0, hidden=16)
+    Trainer(epochs=5, patience=5).fit(model, graph)
+    directory = tmp_path_factory.mktemp("artifact")
+    save_model(model, directory, graph=graph)
+    return directory, graph, model.predict_logits(graph).argmax(axis=1)
+
+
+class TestInferenceServer:
+    def test_coalesces_concurrent_requests(self, trained_export):
+        directory, graph, expected = trained_export
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=5.0)
+        with server:
+            tickets = [server.submit(node_ids=[i % graph.num_nodes]) for i in range(50)]
+            for index, ticket in enumerate(tickets):
+                node = index % graph.num_nodes
+                np.testing.assert_array_equal(ticket.result(timeout=30), expected[[node]])
+        stats = server.stats()
+        assert stats.requests == 50
+        assert stats.batches < stats.requests  # coalescing happened
+        assert stats.forwards <= stats.batches
+
+    def test_full_graph_request(self, trained_export):
+        directory, graph, expected = trained_export
+        server, _ = InferenceServer.from_artifact(directory)
+        with server:
+            np.testing.assert_array_equal(server.predict(node_ids=None), expected)
+
+    def test_serves_alternate_graph_and_groups_by_fingerprint(self, trained_export):
+        directory, graph, expected = trained_export
+        other = graph.with_(features=graph.features * 1.5)
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=5.0)
+        with server:
+            base = server.submit(node_ids=[0, 1])
+            alt = server.submit(node_ids=[0, 1], graph=other)
+            base.result(timeout=30)
+            alt.result(timeout=30)
+        # Two distinct graph fingerprints means two forwards even if the
+        # requests shared one micro-batch.
+        assert server.stats().forwards == 2
+
+    def test_bad_node_ids_fail_only_their_ticket(self, trained_export):
+        directory, graph, expected = trained_export
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=5.0)
+        with server:
+            bad = server.submit(node_ids=[graph.num_nodes + 7])
+            good = server.submit(node_ids=[0])
+            with pytest.raises(IndexError):
+                bad.result(timeout=30)
+            np.testing.assert_array_equal(good.result(timeout=30), expected[[0]])
+
+    def test_submit_requires_running_server(self, trained_export):
+        directory, _, _ = trained_export
+        server, _ = InferenceServer.from_artifact(directory)
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit(node_ids=[0])
+
+    def test_negative_node_ids_rejected_at_submit(self, trained_export):
+        directory, _, _ = trained_export
+        server, _ = InferenceServer.from_artifact(directory)
+        with server:
+            with pytest.raises(ValueError, match="non-negative"):
+                server.submit(node_ids=[0, -3])
+
+    def test_warm_only_before_start(self, trained_export):
+        directory, graph, _ = trained_export
+        server, _ = InferenceServer.from_artifact(directory)
+        server.warm()  # allowed while stopped
+        with server:
+            with pytest.raises(RuntimeError, match="before start"):
+                server.warm()
+
+    def test_logit_cache_skips_forwards(self, trained_export):
+        directory, _, _ = trained_export
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=0.0)
+        with server:
+            for _ in range(5):
+                server.predict(node_ids=[0])
+        assert server.stats().forwards == 1
+
+        uncached, _ = InferenceServer.from_artifact(
+            directory, max_wait_ms=0.0, cache_logits=False
+        )
+        with uncached:
+            for _ in range(3):
+                uncached.predict(node_ids=[0])
+        stats = uncached.stats()
+        assert stats.forwards == stats.batches == 3
+        # Even without logit memoisation the operator cache still serves
+        # every preprocess after the seeded first one.
+        assert stats.cache.misses == 0
+
+    def test_concurrent_clients_under_load(self, trained_export):
+        directory, graph, expected = trained_export
+        server, _ = InferenceServer.from_artifact(directory, max_wait_ms=2.0)
+        errors = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(10):
+                    ids = rng.choice(graph.num_nodes, size=4, replace=False)
+                    result = server.predict(node_ids=ids, timeout=60)
+                    np.testing.assert_array_equal(result, expected[ids])
+            except Exception as error:  # surfaced after join
+                errors.append(error)
+
+        with server:
+            threads = [threading.Thread(target=client, args=(s,)) for s in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert server.stats().requests == 60
+
+
+class TestServingCli:
+    def test_export_predict_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "export"
+        assert main([
+            "export", "texas", "--model", "MLP", "--epochs", "5", "--patience", "5",
+            "--out", str(artifact),
+        ]) == 0
+        exported = capsys.readouterr().out
+        assert "artifact:" in exported
+
+        assert main(["predict", str(artifact), "--nodes", "0", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out and "0->" in out
+
+        assert main(["predict", str(artifact), "--json", "--nodes", "0", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "MLP"
+        assert len(payload["predictions"]) == 2
+
+        # `--nodes` with no ids is an empty request, not a crash.
+        assert main(["predict", str(artifact), "--json", "--nodes"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predictions"] == []
+
+    def test_export_pipeline_and_serve_bench(self, tmp_path, capsys):
+        artifact = tmp_path / "pipe"
+        assert main([
+            "export", "texas", "--epochs", "5", "--patience", "5", "--out", str(artifact),
+        ]) == 0
+        assert "AMUD score" in capsys.readouterr().out
+
+        assert main([
+            "serve-bench", str(artifact), "--requests", "32", "--clients", "2",
+            "--subset-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "operator cache" in out
+
+    def test_predict_json_matches_fresh_process_semantics(self, tmp_path, capsys):
+        """export then predict reproduces the in-memory pipeline predictions."""
+        from repro.datasets import load_dataset
+        from repro.pipeline import AmudPipeline
+
+        graph = load_dataset("texas", seed=0)
+        pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
+        pipeline.fit(graph)
+        expected = pipeline.predict()
+
+        artifact = tmp_path / "pipe"
+        pipeline.save(artifact)
+        nodes = [str(i) for i in range(graph.num_nodes)]
+        assert main(["predict", str(artifact), "--json", "--nodes", *nodes]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        np.testing.assert_array_equal(np.asarray(payload["predictions"]), expected)
