@@ -18,6 +18,7 @@ and the served predictions match the cold logits exactly.
 
 from __future__ import annotations
 
+import argparse
 import tempfile
 import time
 
@@ -43,11 +44,19 @@ def largest_dataset() -> str:
     return max(DATASET_CONFIGS, key=lambda name: DATASET_CONFIGS[name].num_nodes)
 
 
-def build_serving_profile() -> dict:
-    dataset = largest_dataset()
+def smallest_dataset() -> str:
+    """Name of the smallest registered synthetic dataset (CI smoke runs)."""
+    return min(DATASET_CONFIGS, key=lambda name: DATASET_CONFIGS[name].num_nodes)
+
+
+def build_serving_profile(quick: bool = False) -> dict:
+    """Measure the serving profile; ``quick`` shrinks it to a CI smoke test."""
+    dataset = smallest_dataset() if quick else largest_dataset()
+    warm_rounds = 5 if quick else WARM_ROUNDS
+    batch_requests = 16 if quick else BATCH_CLIENT_REQUESTS
     graph = load_dataset(dataset, seed=0)
     model = create_model(MODEL, graph, seed=0, **MODEL_KWARGS)
-    Trainer(epochs=10, patience=10).fit(model, graph)
+    Trainer(epochs=3 if quick else 10, patience=10).fit(model, graph)
 
     with tempfile.TemporaryDirectory() as directory:
         save_model(model, directory, graph=graph)
@@ -64,27 +73,28 @@ def build_serving_profile() -> dict:
             # Populate the logit cache, then time single warm requests.
             served = server.predict(node_ids=None)
             start = time.perf_counter()
-            for _ in range(WARM_ROUNDS):
-                server.predict(node_ids=np.arange(64))
-            warm_seconds = (time.perf_counter() - start) / WARM_ROUNDS
+            for _ in range(warm_rounds):
+                server.predict(node_ids=np.arange(min(64, graph.num_nodes)))
+            warm_seconds = (time.perf_counter() - start) / warm_rounds
 
             # Amortised per-request latency under micro-batched load.
             rng = np.random.default_rng(0)
             subsets = [
-                rng.choice(graph.num_nodes, size=32, replace=False)
-                for _ in range(BATCH_CLIENT_REQUESTS)
+                rng.choice(graph.num_nodes, size=min(32, graph.num_nodes), replace=False)
+                for _ in range(batch_requests)
             ]
             start = time.perf_counter()
             tickets = [server.submit(node_ids=ids) for ids in subsets]
             for ticket in tickets:
                 ticket.result(timeout=120)
-            batched_seconds = (time.perf_counter() - start) / BATCH_CLIENT_REQUESTS
+            batched_seconds = (time.perf_counter() - start) / batch_requests
             stats = server.stats()
 
     return {
         "dataset": dataset,
         "nodes": graph.num_nodes,
         "model": MODEL,
+        "quick": quick,
         "cold_ms": 1e3 * cold_seconds,
         "warm_ms": 1e3 * warm_seconds,
         "batched_ms": 1e3 * batched_seconds,
@@ -101,9 +111,13 @@ def check_serving_profile(profile: dict) -> None:
     # Served predictions must reproduce the cold in-process logits exactly.
     assert profile["exact"]
     # The whole point of the cache: warm inference >= 5x faster than cold
-    # preprocess + forward (the ISSUE acceptance threshold).
-    assert profile["warm_speedup"] >= 5.0, profile
-    assert profile["batched_speedup"] >= 5.0, profile
+    # preprocess + forward (the ISSUE acceptance threshold).  Quick (CI
+    # smoke) runs use a tiny graph whose cold path is already sub-millisecond
+    # — wall-clock ratios there are scheduler noise, so quick mode checks
+    # correctness and coalescing only.
+    if not profile.get("quick"):
+        assert profile["warm_speedup"] >= 5.0, profile
+        assert profile["batched_speedup"] >= 5.0, profile
     # Micro-batching actually coalesced: far fewer forwards than requests.
     assert profile["forwards"] < profile["requests"]
 
@@ -139,7 +153,16 @@ def test_serving_cold_vs_warm(benchmark):
 
 
 if __name__ == "__main__":
-    result = build_serving_profile()
+    parser = argparse.ArgumentParser(description="serving cold-vs-warm benchmark")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smallest dataset, fewer rounds, no JSON emission",
+    )
+    cli_args = parser.parse_args()
+    result = build_serving_profile(quick=cli_args.quick)
     print(format_serving_table(result))
-    write_bench_json("serving", result)
+    if not cli_args.quick:
+        # Quick numbers are not representative; keep the committed JSON
+        # trail reflecting the full benchmark only.
+        write_bench_json("serving", result)
     check_serving_profile(result)

@@ -6,45 +6,47 @@ Usage::
 
 The script loads a calibrated synthetic stand-in for one of the paper's
 benchmarks (default: ``chameleon``), runs AMUD to decide whether to keep the
-directed edges, trains the model the guidance selects, and reports the test
-accuracy alongside the homophily profile of the data.
+directed edges, trains the model the guidance selects through the
+:class:`repro.api.Session` facade, and reports the test accuracy alongside
+the homophily profile of the data.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import AmudPipeline, Trainer, load_dataset
-from repro.amud import amud_decide
-from repro.metrics import homophily_report
+from repro.api import AmudConfig, Session, TrainConfig
 
 
 def main(dataset_name: str = "chameleon") -> None:
-    graph = load_dataset(dataset_name, seed=0)
+    session = Session(
+        seed=0,
+        train=TrainConfig(epochs=150, patience=30),
+        amud=AmudConfig(undirected_model="GPRGNN", directed_model="ADPA"),
+    )
+
+    handle = session.load(dataset_name)
+    graph = handle.graph
     print(f"Loaded {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} directed edges, "
           f"{graph.num_features} features, {graph.num_classes} classes")
 
-    report = homophily_report(graph)
     print("Homophily profile:")
-    for metric, value in report.items():
+    for metric, value in handle.homophily().items():
         print(f"  {metric:<22s} {value:+.3f}")
 
-    decision = amud_decide(graph)
+    guided = handle.amud()
+    decision = guided.decision
     print(f"\nAMUD guidance score S = {decision.score:.3f} (threshold {decision.threshold})")
     print(f"AMUD says: model this graph as *{decision.modeling}*")
     print("Per-pattern R²:", {name: round(value, 4) for name, value in decision.r_squared.items()})
 
-    pipeline = AmudPipeline(
-        undirected_model="GPRGNN",
-        directed_model="ADPA",
-        trainer=Trainer(epochs=150, patience=30),
-        model_kwargs={"directed": {"hidden": 64, "num_steps": 3}},
-    )
-    result = pipeline.fit(graph)
-    print(f"\nTrained {result.model_name} on the {result.decision.modeling} view")
-    print(f"Validation accuracy: {result.train_result.val_accuracy:.3f}")
-    print(f"Test accuracy:       {result.train_result.test_accuracy:.3f}")
-    print(f"Best epoch:          {result.train_result.best_epoch}")
+    kwargs = {"hidden": 64, "num_steps": 3} if decision.keep_directed else {}
+    model = guided.fit(**kwargs)
+    result = model.train_result
+    print(f"\nTrained {model.model_name} on the {decision.modeling} view")
+    print(f"Validation accuracy: {result.val_accuracy:.3f}")
+    print(f"Test accuracy:       {result.test_accuracy:.3f}")
+    print(f"Best epoch:          {result.best_epoch}")
 
 
 if __name__ == "__main__":

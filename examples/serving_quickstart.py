@@ -4,16 +4,18 @@ Usage::
 
     python examples/serving_quickstart.py [dataset-name]
 
-The script walks the full serving lifecycle the paper's decoupled design
-enables:
+The script walks the full serving lifecycle through the public API
+(:class:`repro.api.Session`):
 
-1. fit the AMUD pipeline on a dataset and export it as a versioned artifact
+1. fit the AMUD-guided model and export it as a versioned artifact
    (weights ``.npz`` + config/decision JSON + the modeled graph);
-2. reload the artifact as a fresh process would and verify the predictions
+2. restore the artifact as a fresh process would and verify the predictions
    are bit-identical;
-3. stand up the micro-batching :class:`repro.serving.InferenceServer` and
-   fire concurrent node-subset requests at it, printing latency, batch and
-   cache statistics.
+3. serve the artifact behind the micro-batching engine and fire concurrent
+   node-subset requests at it, printing latency, batch and cache statistics.
+
+For multiple artifacts behind one front door (shard routing, asyncio), see
+``examples/api_quickstart.py``.
 """
 
 from __future__ import annotations
@@ -25,30 +27,34 @@ import time
 
 import numpy as np
 
-from repro import AmudPipeline, Trainer, load_dataset
-from repro.serving import InferenceServer
+from repro.api import ServeConfig, Session, TrainConfig
 
 
 def main(dataset_name: str = "chameleon") -> None:
-    graph = load_dataset(dataset_name, seed=0)
+    session = Session(
+        seed=0,
+        train=TrainConfig(epochs=100, patience=20),
+        serve=ServeConfig(max_wait_ms=2.0),
+    )
+    handle = session.load(dataset_name)
+    graph = handle.graph
     print(f"Loaded {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges")
     print(f"graph fingerprint: {graph.fingerprint()}")
 
-    pipeline = AmudPipeline(trainer=Trainer(epochs=100, patience=20))
-    result = pipeline.fit(graph)
-    print(f"\nAMUD -> {result.decision.modeling}; trained {result.model_name} "
-          f"(test accuracy {result.test_accuracy:.4f})")
+    model = handle.amud().fit()
+    print(f"\nAMUD -> {model.decision.modeling}; trained {model.model_name} "
+          f"(test accuracy {model.test_accuracy:.4f})")
 
     with tempfile.TemporaryDirectory() as directory:
-        pipeline.save(directory)
+        model.save(directory)
         print(f"exported artifact to {directory}")
 
-        reloaded = AmudPipeline.load(directory)
-        exact = bool(np.array_equal(pipeline.predict(), reloaded.predict()))
+        restored = session.restore(directory)
+        expected = restored.predict()
+        exact = bool(np.array_equal(model.predict(), expected))
         print(f"fresh-process reload reproduces predictions exactly: {exact}")
 
-        server, artifact = InferenceServer.from_artifact(directory, max_wait_ms=2.0)
-        expected = reloaded.predict()
+        server = restored.serve()
 
         def client(seed: int, rounds: int = 25) -> None:
             rng = np.random.default_rng(seed)
@@ -58,7 +64,7 @@ def main(dataset_name: str = "chameleon") -> None:
                 predictions = server.predict(node_ids=ids, timeout=60)
                 assert np.array_equal(predictions, expected[ids])
 
-        print(f"\nserving {artifact.model_name} with 4 concurrent clients ...")
+        print(f"\nserving {restored.model_name} with 4 concurrent clients ...")
         with server:
             start = time.perf_counter()
             threads = [threading.Thread(target=client, args=(seed,)) for seed in range(4)]

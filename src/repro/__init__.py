@@ -9,22 +9,29 @@ Public API highlights
 * :mod:`repro.adpa` — the ADPA model (DP propagation + hierarchical attention).
 * :mod:`repro.models` — the baseline GNN zoo (undirected & directed).
 * :mod:`repro.training` — trainer, repeated experiments, sparsity sweeps.
-* :class:`repro.AmudPipeline` — the end-to-end Fig. 1 workflow.
+* :mod:`repro.api` — **the** public facade: :class:`repro.api.Session`
+  with typed handles and frozen configs (load → amud → fit → serve).
+* :mod:`repro.serving` — artifacts, caches, inference engine, shard router.
+
+:class:`repro.AmudPipeline` is the deprecated predecessor of the Session
+facade and is kept as a warning shim.
 """
 
-from . import adpa, amud, analysis, datasets, graph, metrics, models, nn, training
+from . import adpa, amud, analysis, api, datasets, graph, metrics, models, nn, training
 from .adpa import ADPA
 from .amud import AmudDecision, amud_decide, amud_score, apply_amud
+from .api import AmudConfig, GraphHandle, ModelHandle, ServeConfig, Session, TrainConfig
 from .datasets import load_dataset
 from .graph import DirectedGraph
 from .pipeline import AmudPipeline, PipelineResult
 from .training import Trainer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
     "analysis",
+    "api",
     "graph",
     "datasets",
     "metrics",
@@ -40,6 +47,12 @@ __all__ = [
     "AmudDecision",
     "ADPA",
     "Trainer",
+    "Session",
+    "GraphHandle",
+    "ModelHandle",
+    "TrainConfig",
+    "AmudConfig",
+    "ServeConfig",
     "AmudPipeline",
     "PipelineResult",
     "__version__",

@@ -1,0 +1,42 @@
+"""repro.api — the typed public facade over the whole reproduction.
+
+One documented way to drive the system end to end::
+
+    from repro.api import Session
+
+    model = Session().load("chameleon").amud().fit()  # guidance-selected, trained
+    server = model.serve()                            # one micro-batching engine
+    model.save("runs/chameleon")
+    router = Session().serve("runs/chameleon")        # multi-artifact front door
+
+See :mod:`repro.api.session` for the Session / handle semantics and
+:mod:`repro.api.config` for the frozen configuration dataclasses.
+"""
+
+from .config import AmudConfig, ServeConfig, TrainConfig
+from .session import (
+    ARTIFACT_KIND,
+    GraphHandle,
+    ModelHandle,
+    Session,
+    decision_from_dict,
+    decision_to_dict,
+    train_result_from_dict,
+    train_result_to_dict,
+    width_kwargs,
+)
+
+__all__ = [
+    "Session",
+    "GraphHandle",
+    "ModelHandle",
+    "TrainConfig",
+    "AmudConfig",
+    "ServeConfig",
+    "ARTIFACT_KIND",
+    "width_kwargs",
+    "decision_to_dict",
+    "decision_from_dict",
+    "train_result_to_dict",
+    "train_result_from_dict",
+]

@@ -1,0 +1,155 @@
+"""Frozen configuration objects for the :mod:`repro.api` facade.
+
+Every knob of the load → AMUD → train → serve workflow lives in one of
+three immutable dataclasses, so a configuration can be validated once,
+shared between threads, logged, and passed through the CLI, programs and a
+network front-end without kwargs drift:
+
+* :class:`TrainConfig` — optimisation hyper-parameters (builds a
+  :class:`repro.training.Trainer`);
+* :class:`AmudConfig` — the AMUD threshold θ and the model the guidance
+  selects for each paradigm;
+* :class:`ServeConfig` — micro-batching, caching and back-pressure limits
+  for :class:`repro.serving.InferenceServer` / :class:`repro.serving.ShardRouter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Optional
+
+from ..models.registry import get_spec
+from ..training.trainer import Trainer
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Immutable training hyper-parameters; ``build_trainer()`` applies them."""
+
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    epochs: int = 200
+    patience: int = 30
+    optimizer: str = "adam"
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        # Trainer re-validates, but failing here pins the error to the
+        # config object the caller actually wrote.
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}; expected 'adam' or 'sgd'")
+
+    def build_trainer(self) -> Trainer:
+        return Trainer(
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            epochs=self.epochs,
+            patience=self.patience,
+            optimizer=self.optimizer,
+            verbose=self.verbose,
+        )
+
+    @classmethod
+    def from_trainer(cls, trainer: Trainer) -> "TrainConfig":
+        return cls(
+            lr=trainer.lr,
+            weight_decay=trainer.weight_decay,
+            epochs=trainer.epochs,
+            patience=trainer.patience,
+            optimizer=trainer.optimizer_name,
+            verbose=trainer.verbose,
+        )
+
+    def replace(self, **changes) -> "TrainConfig":
+        """Return a copy with ``changes`` applied (the config is frozen)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AmudConfig:
+    """The Fig. 1 guidance step: threshold θ and the per-paradigm models."""
+
+    threshold: float = 0.5
+    undirected_model: str = "GPRGNN"
+    directed_model: str = "ADPA"
+
+    def __post_init__(self) -> None:
+        # The guidance score lives in [0, 1], but out-of-range thresholds are
+        # a legitimate way to force one paradigm (θ > 1 pins undirected,
+        # θ < 0 pins directed); only reject values that compare as nothing.
+        if self.threshold != self.threshold:  # NaN
+            raise ValueError("threshold must not be NaN")
+        # Surface unknown registry names at configuration time, not mid-fit.
+        get_spec(self.undirected_model)
+        get_spec(self.directed_model)
+
+    def model_for(self, keep_directed: bool) -> str:
+        return self.directed_model if keep_directed else self.undirected_model
+
+    def replace(self, **changes) -> "AmudConfig":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving limits shared by the single engine and the shard router."""
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    cache_logits: bool = True
+    logit_cache_capacity: int = 32
+    #: bound on each engine's request queue (``None`` = unbounded).
+    max_pending: Optional[int] = None
+    #: cap on in-flight requests across all shards of one router.
+    router_max_pending: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.logit_cache_capacity < 1:
+            raise ValueError(
+                f"logit_cache_capacity must be >= 1, got {self.logit_cache_capacity}"
+            )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {self.max_pending}")
+        if self.router_max_pending < 1:
+            raise ValueError(f"router_max_pending must be >= 1, got {self.router_max_pending}")
+
+    def engine_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for one :class:`InferenceServer`."""
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "cache_logits": self.cache_logits,
+            "logit_cache_capacity": self.logit_cache_capacity,
+            "max_pending": self.max_pending,
+        }
+
+    def router_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for a :class:`ShardRouter`."""
+        return {
+            "max_pending": self.router_max_pending,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "cache_logits": self.cache_logits,
+            "logit_cache_capacity": self.logit_cache_capacity,
+            "engine_max_pending": self.max_pending,
+        }
+
+    def replace(self, **changes) -> "ServeConfig":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)

@@ -1,12 +1,14 @@
 """Command-line interface for the reproduction.
 
-The sub-commands cover the everyday workflows:
+Every sub-command is a thin shell over :mod:`repro.api` — the CLI, library
+programs and the serving front door all drive the same
+:class:`repro.api.Session` facade.
 
 ``python -m repro.cli amud <dataset>``
     Print the homophily profile, per-pattern R² and AMUD decision.
 
 ``python -m repro.cli train <dataset> --model ADPA``
-    Train one model (default: the AMUD pipeline's choice) and report
+    Train one model (default: the AMUD-guided choice) and report
     accuracies.
 
 ``python -m repro.cli export <dataset> --out DIR``
@@ -15,11 +17,15 @@ The sub-commands cover the everyday workflows:
 ``python -m repro.cli predict <artifact-dir>``
     Reload an artifact in a fresh process and predict.
 
-``python -m repro.cli serve-bench <artifact-dir>``
-    Drive the micro-batching inference server under concurrent load.
+``python -m repro.cli serve-bench <artifact-dir> [<artifact-dir> ...]``
+    Drive one or many artifacts through the shard-router front door under
+    concurrent load.
 
 ``python -m repro.cli datasets``
     List the registered benchmark stand-ins with their statistics.
+
+Artifact errors (missing directory, corrupt manifest or weights) exit with
+code 2 and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -29,17 +35,45 @@ import json
 import sys
 import threading
 import time
+import zipfile
 from typing import List, Optional
 
 import numpy as np
 
 from .amud import amud_decide
-from .datasets import dataset_config, list_datasets, load_dataset
-from .graph import to_undirected
-from .metrics import accuracy, edge_homophily, homophily_report
-from .models import available_models, create_model, get_spec
-from .pipeline import AmudPipeline
-from .training import Trainer, run_single
+from .api import ServeConfig, Session, TrainConfig, width_kwargs
+from .datasets import dataset_config, list_datasets
+from .metrics import accuracy, homophily_report
+from .models import available_models, get_spec
+
+#: exit code for unusable artifact paths (missing, corrupt, wrong format).
+EXIT_ARTIFACT_ERROR = 2
+
+#: everything the artifact loader can raise on a missing or corrupt
+#: directory: absent files, bad JSON/npz payloads, schema mismatches.
+_ARTIFACT_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile)
+
+
+def _artifact_error(path: str, error: BaseException) -> int:
+    reason = str(error) or type(error).__name__
+    print(
+        f"error: cannot load serving artifact at {path!r}: {reason}",
+        file=sys.stderr,
+    )
+    print(
+        "hint: pass a directory written by 'repro export' (it must contain "
+        "artifact.json and weights.npz)",
+        file=sys.stderr,
+    )
+    return EXIT_ARTIFACT_ERROR
+
+
+def _restore_handle(session: Session, path: str):
+    """Session.restore with CLI error semantics; returns (handle, exit_code)."""
+    try:
+        return session.restore(path), 0
+    except _ARTIFACT_ERRORS as error:
+        return None, _artifact_error(path, error)
 
 
 def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
@@ -47,13 +81,21 @@ def _add_dataset_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="generator / split seed")
 
 
-def _single_model_kwargs(model_name: str, hidden: int) -> dict:
-    """Width kwargs for one registry model trained from the CLI.
-
-    SGC is the one registered model without a ``hidden`` kwarg (it is a
-    single linear map by design), so the width is passed to everyone else.
-    """
-    return {} if model_name.lower() == "sgc" else {"hidden": hidden}
+def _add_train_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default="pipeline",
+        help="registered model name, or 'pipeline' for the AMUD-guided workflow",
+    )
+    parser.add_argument("--epochs", type=int, default=200)
+    parser.add_argument("--patience", type=int, default=30)
+    parser.add_argument("--lr", type=float, default=0.01)
+    parser.add_argument("--weight-decay", type=float, default=5e-4)
+    parser.add_argument("--hidden", type=int, default=64)
+    parser.add_argument(
+        "--undirected", action="store_true",
+        help="feed the coarse undirected transformation instead of the natural digraph",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,40 +111,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train_parser = subparsers.add_parser("train", help="train a model on a dataset")
     _add_dataset_argument(train_parser)
-    train_parser.add_argument(
-        "--model",
-        default="pipeline",
-        help="registered model name, or 'pipeline' for the AMUD-guided workflow",
-    )
-    train_parser.add_argument("--epochs", type=int, default=200)
-    train_parser.add_argument("--patience", type=int, default=30)
-    train_parser.add_argument("--lr", type=float, default=0.01)
-    train_parser.add_argument("--weight-decay", type=float, default=5e-4)
-    train_parser.add_argument("--hidden", type=int, default=64)
-    train_parser.add_argument(
-        "--undirected", action="store_true",
-        help="feed the coarse undirected transformation instead of the natural digraph",
-    )
+    _add_train_arguments(train_parser)
 
     export_parser = subparsers.add_parser(
         "export", help="train a model and write a serving artifact"
     )
     _add_dataset_argument(export_parser)
-    export_parser.add_argument(
-        "--model",
-        default="pipeline",
-        help="registered model name, or 'pipeline' for the AMUD-guided workflow",
-    )
+    _add_train_arguments(export_parser)
     export_parser.add_argument("--out", required=True, help="artifact output directory")
-    export_parser.add_argument("--epochs", type=int, default=200)
-    export_parser.add_argument("--patience", type=int, default=30)
-    export_parser.add_argument("--lr", type=float, default=0.01)
-    export_parser.add_argument("--weight-decay", type=float, default=5e-4)
-    export_parser.add_argument("--hidden", type=int, default=64)
-    export_parser.add_argument(
-        "--undirected", action="store_true",
-        help="feed the coarse undirected transformation instead of the natural digraph",
-    )
 
     predict_parser = subparsers.add_parser(
         "predict", help="reload a serving artifact and predict node classes"
@@ -117,14 +133,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     bench_parser = subparsers.add_parser(
-        "serve-bench", help="benchmark the micro-batching inference server on an artifact"
+        "serve-bench",
+        help="benchmark one or many artifacts through the shard-router front door",
     )
-    bench_parser.add_argument("artifact", help="artifact directory written by 'export'")
+    bench_parser.add_argument(
+        "artifacts", nargs="+", metavar="artifact",
+        help="artifact director(ies) written by 'export'; several become router shards",
+    )
     bench_parser.add_argument("--requests", type=int, default=256, help="total requests to issue")
     bench_parser.add_argument("--clients", type=int, default=4, help="concurrent client threads")
     bench_parser.add_argument("--subset-size", type=int, default=32, help="nodes per request")
     bench_parser.add_argument("--batch-size", type=int, default=64, help="server micro-batch cap")
     bench_parser.add_argument("--max-wait-ms", type=float, default=2.0, help="coalescing window")
+    bench_parser.add_argument(
+        "--max-pending", type=int, default=256,
+        help="front-door back-pressure: max in-flight requests across shards",
+    )
 
     subparsers.add_parser("datasets", help="list registered datasets")
     models_parser = subparsers.add_parser("models", help="list registered models")
@@ -132,8 +156,53 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _session_from_args(args: argparse.Namespace) -> Session:
+    return Session(
+        seed=args.seed,
+        train=TrainConfig(
+            lr=args.lr,
+            weight_decay=args.weight_decay,
+            epochs=args.epochs,
+            patience=args.patience,
+        ),
+    )
+
+
+def _fit_from_args(args: argparse.Namespace):
+    """Shared train/export path: Session → GraphHandle → trained ModelHandle."""
+    session = _session_from_args(args)
+    handle = session.load(args.dataset)
+    if args.model == "pipeline":
+        guided = handle.amud()
+        # Only the directed branch (ADPA) takes the CLI width by default,
+        # mirroring the paper's per-paradigm hyper-parameters.
+        kwargs = width_kwargs(
+            session.amud_config.model_for(guided.decision.keep_directed), args.hidden
+        ) if guided.decision.keep_directed else {}
+        return guided.fit(**kwargs)
+    get_spec(args.model)  # raises KeyError for unknown names
+    if args.undirected:
+        handle = handle.undirected()
+    return handle.fit(args.model, **width_kwargs(args.model, args.hidden))
+
+
+def _print_fit_summary(args: argparse.Namespace, handle) -> None:
+    if handle.decision is not None:
+        print(
+            f"AMUD score {handle.decision.score:.3f} -> {handle.decision.modeling}"
+        )
+        print(f"model: {handle.model_name}")
+    else:
+        view = "U-" if args.undirected else "D-"
+        print(f"model: {handle.model_name}  input: {view}{args.dataset}")
+    result = handle.train_result
+    print(f"val accuracy:  {result.val_accuracy:.4f}")
+    print(f"test accuracy: {result.test_accuracy:.4f}")
+
+
 def _command_amud(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.dataset, seed=args.seed)
+    handle = Session(seed=args.seed).load(args.dataset)
+    graph = handle.graph
     decision = amud_decide(graph, threshold=args.threshold)
     print(f"dataset: {graph.name}  nodes={graph.num_nodes}  edges={graph.num_edges}")
     for metric, value in homophily_report(graph).items():
@@ -147,86 +216,42 @@ def _command_amud(args: argparse.Namespace) -> int:
 
 
 def _command_train(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.dataset, seed=args.seed)
-    trainer = Trainer(
-        lr=args.lr, weight_decay=args.weight_decay, epochs=args.epochs, patience=args.patience
-    )
-    if args.model == "pipeline":
-        pipeline = AmudPipeline(
-            undirected_model="GPRGNN",
-            directed_model="ADPA",
-            trainer=trainer,
-            model_kwargs={"directed": {"hidden": args.hidden}},
-        )
-        result = pipeline.fit(graph)
-        print(f"AMUD score {result.decision.score:.3f} -> {result.decision.modeling}")
-        print(f"model: {result.model_name}")
-        print(f"val accuracy:  {result.train_result.val_accuracy:.4f}")
-        print(f"test accuracy: {result.train_result.test_accuracy:.4f}")
-        return 0
-
-    get_spec(args.model)  # raises KeyError for unknown names
-    view = to_undirected(graph) if args.undirected else graph
-    model_kwargs = _single_model_kwargs(args.model, args.hidden)
-    result = run_single(args.model, view, seed=args.seed, trainer=trainer, model_kwargs=model_kwargs)
-    print(f"model: {args.model}  input: {'U-' if args.undirected else 'D-'}{graph.name}")
-    print(f"val accuracy:  {result.val_accuracy:.4f}")
-    print(f"test accuracy: {result.test_accuracy:.4f}")
+    handle = _fit_from_args(args)
+    _print_fit_summary(args, handle)
+    result = handle.train_result
     print(f"best epoch:    {result.best_epoch} / {result.epochs_run}")
     return 0
 
 
 def _command_export(args: argparse.Namespace) -> int:
-    from .serving import save_model
-
-    graph = load_dataset(args.dataset, seed=args.seed)
-    trainer = Trainer(
-        lr=args.lr, weight_decay=args.weight_decay, epochs=args.epochs, patience=args.patience
-    )
-    if args.model == "pipeline":
-        pipeline = AmudPipeline(
-            trainer=trainer,
-            model_kwargs={"directed": {"hidden": args.hidden}},
-            seed=args.seed,
-        )
-        result = pipeline.fit(graph)
-        path = pipeline.save(args.out)
-        print(f"AMUD score {result.decision.score:.3f} -> {result.decision.modeling}")
-        print(f"model: {result.model_name}  test accuracy: {result.test_accuracy:.4f}")
-        print(f"artifact: {path}")
-        return 0
-
-    get_spec(args.model)
-    view = to_undirected(graph) if args.undirected else graph
-    model = create_model(
-        args.model, view, seed=args.seed, **_single_model_kwargs(args.model, args.hidden)
-    )
-    train_result = trainer.fit(model, view)
+    handle = _fit_from_args(args)
+    if handle.decision is not None:
+        # Pipeline path: the modeled view is whatever AMUD decided, not
+        # what the (single-model only) --undirected flag says.
+        input_view = "directed" if handle.decision.keep_directed else "undirected"
+    else:
+        input_view = "undirected" if args.undirected else "directed"
     metadata = {
-        "kind": "model",
         "dataset": args.dataset,
         "dataset_seed": args.seed,
-        "input_view": "undirected" if args.undirected else "directed",
-        "train_result": {
-            "train_accuracy": train_result.train_accuracy,
-            "val_accuracy": train_result.val_accuracy,
-            "test_accuracy": train_result.test_accuracy,
-            "best_epoch": train_result.best_epoch,
-            "epochs_run": train_result.epochs_run,
-        },
+        "input_view": input_view,
     }
-    path = save_model(model, args.out, metadata=metadata, graph=view)
-    print(f"model: {args.model}  test accuracy: {train_result.test_accuracy:.4f}")
+    try:
+        path = handle.save(args.out, metadata=metadata)
+    except OSError as error:
+        print(f"error: cannot write artifact to {args.out!r}: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    _print_fit_summary(args, handle)
     print(f"artifact: {path}")
     return 0
 
 
 def _command_predict(args: argparse.Namespace) -> int:
-    from .serving import restore_model
-
-    model, cache, artifact, graph = restore_model(args.artifact)
-    logits = model.predict_logits(graph, cache)
-    predictions = logits.argmax(axis=1)
+    handle, code = _restore_handle(Session(), args.artifact)
+    if handle is None:
+        return code
+    graph = handle.graph
+    predictions = handle.predict()
     node_ids = (
         np.arange(graph.num_nodes)
         if args.nodes is None
@@ -235,14 +260,14 @@ def _command_predict(args: argparse.Namespace) -> int:
 
     if args.json:
         print(json.dumps({
-            "model": artifact.model_name,
+            "model": handle.model_name,
             "graph": graph.name,
             "nodes": node_ids.tolist(),
             "predictions": predictions[node_ids].tolist(),
         }))
         return 0
 
-    print(f"model: {artifact.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
+    print(f"model: {handle.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
     if graph.test_mask is not None:
         print(f"test accuracy: {accuracy(predictions, graph.labels, graph.test_mask):.4f}")
     shown = node_ids[:10]
@@ -253,26 +278,37 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_serve_bench(args: argparse.Namespace) -> int:
-    from .serving import InferenceServer
-
-    server, artifact = InferenceServer.from_artifact(
-        args.artifact, max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms
+    session = Session(
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            router_max_pending=args.max_pending,
+        )
     )
-    graph = server.graph
-    rng = np.random.default_rng(0)
-    subset_size = min(args.subset_size, graph.num_nodes)
+    try:
+        router = session.serve(*args.artifacts)
+    except _ARTIFACT_ERRORS as error:
+        # Router construction loads artifacts one by one; report whichever
+        # path failed (the message from the loader names the missing file).
+        return _artifact_error(" | ".join(args.artifacts), error)
+
+    shards = router.shards()
     per_client = max(1, args.requests // args.clients)
+    rng = np.random.default_rng(0)
 
     def client(worker_seed: int) -> None:
         local_rng = np.random.default_rng(worker_seed)
         tickets = []
-        for _ in range(per_client):
-            ids = local_rng.choice(graph.num_nodes, size=subset_size, replace=False)
-            tickets.append(server.submit(node_ids=ids))
+        for index in range(per_client):
+            shard = shards[index % len(shards)]
+            graph = shard.engine.graph
+            size = min(args.subset_size, graph.num_nodes)
+            ids = local_rng.choice(graph.num_nodes, size=size, replace=False)
+            tickets.append(router.submit(node_ids=ids, shard=shard.name))
         for ticket in tickets:
             ticket.result(timeout=120)
 
-    with server:
+    with router:
         start = time.perf_counter()
         threads = [
             threading.Thread(target=client, args=(int(rng.integers(1 << 31)),))
@@ -283,24 +319,38 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - start
-        stats = server.stats()
+        stats = router.stats()
 
-    print(f"model: {artifact.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
+    total_requests = sum(s.requests for s in stats.shards.values())
+    total_batches = sum(s.batches for s in stats.shards.values())
+    total_forwards = sum(s.forwards for s in stats.shards.values())
+    print(f"front door: {len(shards)} shard(s), {stats.max_pending} max in-flight")
+    for shard in shards:
+        shard_stats = stats.shards[shard.name]
+        print(
+            f"  {shard.name}: {shard.model_name} on {shard.engine.graph.name} "
+            f"({shard.engine.graph.num_nodes} nodes)  requests={shard_stats.requests}  "
+            f"mean latency {shard_stats.mean_latency_ms:.2f} ms"
+        )
     print(
-        f"served {stats.requests} requests in {elapsed:.3f}s "
-        f"({stats.requests / elapsed:.1f} req/s)"
+        f"served {total_requests} requests in {elapsed:.3f}s "
+        f"({total_requests / elapsed:.1f} req/s)"
     )
     print(
-        f"batches: {stats.batches}  forwards: {stats.forwards}  "
-        f"mean batch size: {stats.mean_batch_size:.1f}"
+        f"batches: {total_batches}  forwards: {total_forwards}  "
+        f"mean batch size: {total_requests / total_batches if total_batches else 0.0:.1f}"
     )
-    print(
-        f"latency: mean {stats.mean_latency_ms:.2f} ms  max {stats.max_latency_ms:.2f} ms"
-    )
-    cache_stats = stats.cache.as_dict()
+    # All shards share one operator cache and one logit cache; report each once.
+    any_stats = next(iter(stats.shards.values()))
+    cache_stats = any_stats.cache.as_dict()
     print(
         f"operator cache: {cache_stats['hits']} hits / {cache_stats['misses']} misses "
         f"(hit rate {cache_stats['hit_rate']:.2%})"
+    )
+    logit_stats = any_stats.logit_cache.as_dict()
+    print(
+        f"logit cache: {logit_stats['hits']} hits / {logit_stats['misses']} misses "
+        f"(weights-versioned keys)"
     )
     return 0
 

@@ -83,6 +83,21 @@ def model_fingerprint(model_name: str, model_kwargs: Optional[Dict] = None) -> s
     return hasher.hexdigest()
 
 
+def state_fingerprint(state: Dict[str, np.ndarray]) -> str:
+    """Hex digest of a model *state dict* (parameter and buffer values).
+
+    Unlike :func:`model_fingerprint` — which identifies a model's
+    configuration and is stable across retraining — this digest changes
+    whenever any weight changes, so the serving layer can use it as a
+    weights-version field in logit-cache keys: two artifacts of the same
+    architecture trained to different weights never share a cache entry.
+    """
+    hasher = _hasher()
+    for name in sorted(state):
+        _update_with_array(hasher, name, np.asarray(state[name]))
+    return hasher.hexdigest()
+
+
 def preprocess_key(model, graph) -> str:
     """Cache key joining a model's signature with a graph's fingerprint."""
     return f"{model.signature()}/{graph.fingerprint()}"

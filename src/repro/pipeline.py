@@ -1,30 +1,38 @@
-"""End-to-end AMUD → model-selection → training pipeline (paper Fig. 1).
+"""Deprecated end-to-end pipeline — superseded by :mod:`repro.api`.
 
-The workflow the paper proposes for a *newly collected* natural digraph:
+:class:`AmudPipeline` was the original facade over the paper's Fig. 1
+workflow (AMUD guidance → paradigm choice → training).  It is now a thin
+shim over :class:`repro.api.Session` / :class:`repro.api.GraphHandle`:
+construction emits a :class:`DeprecationWarning`, ``fit`` delegates to the
+typed handles, and results are repackaged into the legacy
+:class:`PipelineResult` so existing call sites keep working bit-exactly.
 
-1. run AMUD on the directed data;
-2. if the guidance says "undirected" (Paradigm I), transform the graph and
-   train a state-of-the-art *undirected* GNN;
-3. if it says "directed" (Paradigm II), keep the digraph and train a
-   *directed* GNN;
-4. ADPA is a valid choice for either branch.
+New code should write::
 
-:class:`AmudPipeline` packages those steps behind ``fit`` / ``predict`` so
-the examples and the Table V benchmark can exercise the whole loop in a few
-lines.
+    from repro.api import Session
+
+    model = Session().load("chameleon").amud().fit()
+    model.save("runs/chameleon")
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Union
 
-from .amud.guidance import AmudDecision, apply_amud
+from .amud.guidance import AmudDecision
 from .graph.digraph import DirectedGraph
 from .models.base import NodeClassifier
-from .models.registry import create_model, get_spec
+from .models.registry import get_spec
 from .training.trainer import Trainer, TrainResult
+
+_DEPRECATION_MESSAGE = (
+    "AmudPipeline is deprecated; use repro.api.Session — e.g. "
+    "Session().load(name).amud().fit() — which exposes the same workflow "
+    "through typed handles and frozen configs"
+)
 
 
 @dataclass
@@ -42,14 +50,12 @@ class PipelineResult:
 
 
 class AmudPipeline:
-    """The Fig. 1 workflow: AMUD guidance, paradigm choice, training.
+    """Deprecated: the Fig. 1 workflow, now a shim over :mod:`repro.api`.
 
     Parameters
     ----------
     undirected_model / directed_model:
-        Registry names of the models used for the two paradigms.  The
-        defaults follow the paper's recommendation: a strong undirected
-        GNN for AMUndirected output and ADPA for AMDirected output.
+        Registry names of the models used for the two paradigms.
     threshold:
         AMUD decision threshold θ.
     trainer:
@@ -68,6 +74,7 @@ class AmudPipeline:
         model_kwargs: Optional[Dict[str, Dict]] = None,
         seed: int = 0,
     ) -> None:
+        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         # Validate the model names eagerly so configuration errors surface
         # at construction time rather than deep inside fit().
         get_spec(undirected_model)
@@ -81,27 +88,33 @@ class AmudPipeline:
         self._model: Optional[NodeClassifier] = None
         self._result: Optional[PipelineResult] = None
 
+    def _amud_config(self):
+        from .api.config import AmudConfig
+
+        return AmudConfig(
+            threshold=self.threshold,
+            undirected_model=self.undirected_model,
+            directed_model=self.directed_model,
+        )
+
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
     def fit(self, graph: DirectedGraph) -> PipelineResult:
         """Run AMUD, pick the paradigm, train the corresponding model."""
-        modeled_graph, decision = apply_amud(graph, threshold=self.threshold)
-        if decision.keep_directed:
-            model_name = self.directed_model
-            branch_kwargs = dict(self.model_kwargs.get("directed", {}))
-        else:
-            model_name = self.undirected_model
-            branch_kwargs = dict(self.model_kwargs.get("undirected", {}))
-        branch_kwargs.setdefault("seed", self.seed)
-        model = create_model(model_name, modeled_graph, **branch_kwargs)
-        train_result = self.trainer.fit(model, modeled_graph)
-        self._model = model
+        from .api.session import Session
+
+        session = Session(seed=self.seed, amud=self._amud_config())
+        guided = session.from_graph(graph).amud()
+        branch = "directed" if guided.decision.keep_directed else "undirected"
+        branch_kwargs = dict(self.model_kwargs.get(branch, {}))
+        handle = guided.fit(train=self.trainer, **branch_kwargs)
+        self._model = handle.model
         self._result = PipelineResult(
-            decision=decision,
-            model_name=get_spec(model_name).name,
-            train_result=train_result,
-            modeled_graph=modeled_graph,
+            decision=handle.decision,
+            model_name=handle.model_name,
+            train_result=handle.train_result,
+            modeled_graph=handle.graph,
         )
         return self._result
 
@@ -136,13 +149,12 @@ class AmudPipeline:
         graph, so :meth:`load` in a fresh process reproduces in-memory
         predictions exactly.
         """
+        from .api.session import decision_to_dict, train_result_to_dict
         from .serving.artifacts import save_model
 
         if self._model is None or self._result is None:
             raise RuntimeError("pipeline has not been fitted yet")
         result = self._result
-        decision = result.decision
-        train = result.train_result
         metadata = {
             "kind": "amud-pipeline",
             "pipeline": {
@@ -160,20 +172,8 @@ class AmudPipeline:
                 },
             },
             "model_name": result.model_name,
-            "decision": {
-                "score": float(decision.score),
-                "keep_directed": bool(decision.keep_directed),
-                "threshold": float(decision.threshold),
-                "r_squared": {k: float(v) for k, v in decision.r_squared.items()},
-                "correlations": {k: float(v) for k, v in decision.correlations.items()},
-            },
-            "train_result": {
-                "train_accuracy": float(train.train_accuracy),
-                "val_accuracy": float(train.val_accuracy),
-                "test_accuracy": float(train.test_accuracy),
-                "best_epoch": int(train.best_epoch),
-                "epochs_run": int(train.epochs_run),
-            },
+            "decision": decision_to_dict(result.decision),
+            "train_result": train_result_to_dict(result.train_result),
         }
         return save_model(
             self._model,
@@ -184,53 +184,56 @@ class AmudPipeline:
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "AmudPipeline":
-        """Restore a pipeline saved with :meth:`save`, ready to predict."""
+        """Restore a pipeline saved with :meth:`save`, ready to predict.
+
+        Also accepts AMUD-guided artifacts written through :mod:`repro.api`
+        (``ModelHandle.save`` / ``repro export``): those carry the decision
+        and training summary but no pipeline config block, so the restored
+        shim gets default hyper-parameters with the trained model slotted
+        into the decided paradigm's branch.
+        """
+        from .api.session import ARTIFACT_KIND, decision_from_dict, train_result_from_dict
         from .serving.artifacts import load_artifact, load_artifact_graph
 
         artifact = load_artifact(directory)
         metadata = artifact.metadata
-        if metadata.get("kind") != "amud-pipeline":
+        kind = metadata.get("kind")
+        if kind == "amud-pipeline":
+            config = metadata["pipeline"]
+        elif kind == ARTIFACT_KIND and "decision" in metadata:
+            config = None
+        else:
             raise ValueError(
-                f"artifact at {directory} is not a pipeline export "
-                f"(kind={metadata.get('kind')!r}); use repro.serving.restore_model"
+                f"artifact at {directory} is not a pipeline or AMUD-guided "
+                f"export (kind={kind!r}); use repro.api.Session.restore"
             )
         graph = load_artifact_graph(directory)
         if graph is None:
             raise FileNotFoundError(f"pipeline artifact {directory} ships no graph.npz")
 
-        config = metadata["pipeline"]
-        trainer_config = config.get("trainer")
-        pipeline = cls(
-            undirected_model=config["undirected_model"],
-            directed_model=config["directed_model"],
-            threshold=config["threshold"],
-            seed=config["seed"],
-            trainer=Trainer(**trainer_config) if trainer_config else None,
-            model_kwargs={
-                branch: dict(kwargs)
-                for branch, kwargs in config.get("model_kwargs", {}).items()
-            },
-        )
+        decision = decision_from_dict(metadata["decision"])
+        if config is not None:
+            trainer_config = config.get("trainer")
+            pipeline = cls(
+                undirected_model=config["undirected_model"],
+                directed_model=config["directed_model"],
+                threshold=config["threshold"],
+                seed=config["seed"],
+                trainer=Trainer(**trainer_config) if trainer_config else None,
+                model_kwargs={
+                    branch: dict(kwargs)
+                    for branch, kwargs in config.get("model_kwargs", {}).items()
+                },
+            )
+        else:
+            branch = "directed_model" if decision.keep_directed else "undirected_model"
+            pipeline = cls(threshold=decision.threshold, **{branch: artifact.model_name})
         model, _ = artifact.restore(graph)
-        saved_decision = metadata["decision"]
-        saved_train = metadata["train_result"]
         pipeline._model = model
         pipeline._result = PipelineResult(
-            decision=AmudDecision(
-                score=saved_decision["score"],
-                keep_directed=saved_decision["keep_directed"],
-                threshold=saved_decision["threshold"],
-                r_squared=dict(saved_decision.get("r_squared", {})),
-                correlations=dict(saved_decision.get("correlations", {})),
-            ),
-            model_name=metadata["model_name"],
-            train_result=TrainResult(
-                train_accuracy=saved_train["train_accuracy"],
-                val_accuracy=saved_train["val_accuracy"],
-                test_accuracy=saved_train["test_accuracy"],
-                best_epoch=saved_train["best_epoch"],
-                epochs_run=saved_train["epochs_run"],
-            ),
+            decision=decision,
+            model_name=metadata.get("model_name", artifact.model_name),
+            train_result=train_result_from_dict(metadata["train_result"]),
             modeled_graph=graph,
         )
         return pipeline

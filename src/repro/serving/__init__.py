@@ -6,7 +6,9 @@ from "trained in memory" to "served under concurrent load":
 * :mod:`repro.serving.artifacts` — versioned save/load of weights + config;
 * :mod:`repro.serving.fingerprint` — content hashes of graphs and models;
 * :mod:`repro.serving.cache` — bounded LRU reuse of ``preprocess()`` output;
-* :mod:`repro.serving.engine` — the micro-batching :class:`InferenceServer`.
+* :mod:`repro.serving.engine` — the micro-batching :class:`InferenceServer`;
+* :mod:`repro.serving.router` — the multi-artifact :class:`ShardRouter`
+  front door with sync ``submit`` and asyncio ``asubmit``.
 """
 
 from .artifacts import (
@@ -18,13 +20,20 @@ from .artifacts import (
     save_model,
 )
 from .cache import CacheStats, LRUCache, OperatorCache
-from .engine import InferenceServer, InferenceTicket, ServerStats
+from .engine import (
+    InferenceServer,
+    InferenceTicket,
+    ServerOverloaded,
+    ServerStats,
+)
 from .fingerprint import (
     array_digest,
     graph_fingerprint,
     model_fingerprint,
     preprocess_key,
+    state_fingerprint,
 )
+from .router import RouterStats, ShardInfo, ShardRouter, UnknownShard
 
 __all__ = [
     "FORMAT_VERSION",
@@ -38,9 +47,15 @@ __all__ = [
     "CacheStats",
     "InferenceServer",
     "InferenceTicket",
+    "ServerOverloaded",
     "ServerStats",
+    "ShardRouter",
+    "ShardInfo",
+    "RouterStats",
+    "UnknownShard",
     "array_digest",
     "graph_fingerprint",
     "model_fingerprint",
     "preprocess_key",
+    "state_fingerprint",
 ]

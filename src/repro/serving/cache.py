@@ -107,6 +107,12 @@ class LRUCache:
             self.put(key, value)
             return value
 
+    def grow(self, capacity: int) -> None:
+        """Raise the capacity to at least ``capacity`` (never shrinks)."""
+        with self._lock:
+            if capacity > self.capacity:
+                self.capacity = capacity
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -147,6 +153,14 @@ class OperatorCache:
     def seed(self, model, graph, value: Dict[str, object]) -> None:
         """Insert an already-computed preprocess result (artifact restore)."""
         self._cache.put(preprocess_key(model, graph), value)
+
+    def grow(self, capacity: int) -> None:
+        """Raise the capacity to at least ``capacity`` (never shrinks).
+
+        The ShardRouter calls this as shards register, so a router with more
+        shards than :data:`DEFAULT_CAPACITY` does not thrash its own
+        per-shard preprocess entries."""
+        self._cache.grow(capacity)
 
     def __len__(self) -> int:
         return len(self._cache)

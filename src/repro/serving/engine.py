@@ -23,6 +23,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,12 +35,17 @@ from ..graph.digraph import DirectedGraph
 from ..models.base import NodeClassifier
 from .artifacts import ModelArtifact, restore_model
 from .cache import CacheStats, LRUCache, OperatorCache
+from .fingerprint import state_fingerprint
 
 #: queue sentinel telling the worker thread to exit.
 _STOP = object()
 
 #: how many completed-request latencies the rolling window keeps.
 LATENCY_WINDOW = 10_000
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised when a bounded request queue rejects a non-blocking submit."""
 
 
 class InferenceTicket:
@@ -59,17 +65,53 @@ class InferenceTicket:
         self._predictions: Optional[np.ndarray] = None
         self._logits: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: List = []
 
     def _complete(self, logits: np.ndarray) -> None:
+        if self._done.is_set():  # completion is final; never re-resolve
+            return
         self._logits = logits
         self._predictions = logits.argmax(axis=1)
         self.latency_seconds = time.perf_counter() - self.enqueued_at
         self._done.set()
+        self._fire_callbacks()
 
     def _fail(self, error: BaseException) -> None:
+        if self._done.is_set():
+            return
         self._error = error
         self.latency_seconds = time.perf_counter() - self.enqueued_at
         self._done.set()
+        self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                # A broken callback (e.g. an asubmit resolving into a closed
+                # event loop) must not corrupt the ticket, skip later
+                # callbacks, or take down the worker thread.
+                traceback.print_exc()
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(ticket)`` once the request completes (or fails).
+
+        Registered after completion, the callback runs immediately on the
+        caller's thread; otherwise it runs on the worker thread, so it must
+        be quick.  A raising callback is printed and swallowed — completion
+        is final and later callbacks still run.  The
+        :class:`repro.serving.ShardRouter` uses this to release its
+        back-pressure slot, and ``asubmit`` to resolve asyncio futures.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -136,21 +178,47 @@ class InferenceServer:
         max_wait_ms: float = 2.0,
         cache_logits: bool = True,
         logit_cache_capacity: int = 8,
+        logit_cache: Optional[LRUCache] = None,
+        max_pending: Optional[int] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 (or None), got {max_pending}")
         self.model = model.eval()
         self.graph = graph
         self.cache = operator_cache if operator_cache is not None else OperatorCache()
         # Serving assumes frozen weights, so full-graph eval logits are a
-        # pure function of the graph fingerprint and can be memoised; call
-        # :meth:`clear_logit_cache` if the model's parameters are mutated.
+        # pure function of (weights version, graph fingerprint) and can be
+        # memoised; call :meth:`clear_logit_cache` if the model's parameters
+        # are mutated.  The cache may be shared between servers (the
+        # ShardRouter does) — the weights-version key field keeps entries of
+        # side-by-side hot-swapped artifacts apart.
         self.cache_logits = cache_logits
-        self._logit_cache = LRUCache(logit_cache_capacity)
+        self._logit_cache = (
+            logit_cache if logit_cache is not None else LRUCache(logit_cache_capacity)
+        )
+        # Computed lazily by the worker *after* the first preprocess, so
+        # lazily-built modules (ADPA's attention) exist before their weights
+        # are hashed into the version.  The (signature, weights-version)
+        # cache-key prefix is frozen alongside it: both only reset through
+        # clear_logit_cache(), so the hot batch loop never rehashes them.
+        self._weights_version: Optional[str] = None
+        self._logit_key_prefix: Optional[Tuple[str, str]] = None
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_ms / 1000.0
+        self.max_pending = max_pending
+        # Back-pressure is a semaphore over *in-flight* tickets (queued or
+        # being processed), released on completion — not a bounded queue.
+        # A bounded queue would make submit() block inside put() while
+        # holding the lifecycle lock, stalling stop() and other submitters'
+        # block=False fast path; the queue itself stays unbounded so the
+        # stop sentinel can always be enqueued.
+        self._capacity = (
+            None if max_pending is None else threading.BoundedSemaphore(max_pending)
+        )
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._running = False
@@ -255,25 +323,62 @@ class InferenceServer:
             self.cache.preprocess(self.model, graph if graph is not None else self.graph)
 
     def clear_logit_cache(self) -> None:
-        """Drop memoised logits (required after any weight mutation)."""
+        """Drop memoised logits (required after any weight mutation).
+
+        Also invalidates the cached weights version, so the next forward
+        rehashes the (possibly mutated) state dict.  With a shared logit
+        cache this clears every server's entries, which is safe — they all
+        recompute on the next request.
+        """
         self._logit_cache.clear()
+        self._weights_version = None
+        self._logit_key_prefix = None
 
     def submit(
         self,
         node_ids: Optional[Sequence[int]] = None,
         graph: Optional[DirectedGraph] = None,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
     ) -> InferenceTicket:
-        """Enqueue a prediction request for a node subset (``None`` = all)."""
+        """Enqueue a prediction request for a node subset (``None`` = all).
+
+        With ``max_pending`` set, at most that many tickets may be in
+        flight (queued or being processed); a saturated server blocks the
+        caller (back-pressure) until a ticket completes — pass
+        ``block=False`` or a ``timeout`` to get :class:`ServerOverloaded`
+        instead of waiting.
+        """
         ids = None if node_ids is None else np.asarray(node_ids, dtype=np.int64)
         if ids is not None and ids.size and ids.min() < 0:
             # Negative ids would wrap via fancy indexing and silently return
             # another node's prediction; reject them at the door instead.
             raise ValueError(f"node_ids must be non-negative, got min {ids.min()}")
         ticket = InferenceTicket(ids, graph if graph is not None else self.graph)
-        with self._lifecycle_lock:
-            if not self._running:
-                raise RuntimeError("InferenceServer is not running; call start() first")
-            self._queue.put(ticket)
+        # Capacity is claimed *outside* the lifecycle lock so a blocked
+        # submitter never stalls stop() or another caller's fast path.
+        if self._capacity is not None:
+            acquired = self._capacity.acquire(
+                blocking=block, timeout=timeout if block else None
+            )
+            if not acquired:
+                raise ServerOverloaded(
+                    f"server is at capacity ({self.max_pending} requests in flight)"
+                )
+        try:
+            with self._lifecycle_lock:
+                if not self._running:
+                    raise RuntimeError("InferenceServer is not running; call start() first")
+                self._queue.put(ticket)  # unbounded: never blocks under the lock
+        except BaseException:
+            if self._capacity is not None:
+                self._capacity.release()
+            raise
+        if self._capacity is not None:
+            # Fires on the worker thread at completion (or immediately if
+            # the ticket already resolved).
+            ticket.add_done_callback(lambda _ticket: self._capacity.release())
         return ticket
 
     def predict(
@@ -282,8 +387,13 @@ class InferenceServer:
         graph: Optional[DirectedGraph] = None,
         timeout: Optional[float] = 60.0,
     ) -> np.ndarray:
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(node_ids, graph).result(timeout)
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        ``timeout`` bounds each phase separately: the capacity wait of a
+        bounded server (:class:`ServerOverloaded` on expiry) and then the
+        wait for the prediction itself.
+        """
+        return self.submit(node_ids, graph, timeout=timeout).result(timeout)
 
     def stats(self) -> ServerStats:
         with self._metrics_lock:
@@ -344,9 +454,24 @@ class InferenceServer:
         for key, tickets in groups.items():
             graph = graphs[key]
             try:
-                logits = self._logit_cache.get(key) if self.cache_logits else None
+                # Shared-cache keys need the model signature on top of the
+                # weights version: hyper-parameters outside the state dict
+                # (e.g. SGC's num_steps) change the forward output without
+                # changing any weight, same as preprocess_key does for the
+                # operator cache.
+                logits = None
+                if self.cache_logits and self._logit_key_prefix is not None:
+                    logits = self._logit_cache.get((*self._logit_key_prefix, key))
                 if logits is None:
                     cache = self.cache.preprocess(self.model, graph)
+                    if self._weights_version is None:
+                        # All lazily-built modules exist after preprocess, so
+                        # the state dict now covers every weight.
+                        self._weights_version = state_fingerprint(self.model.state_dict())
+                        self._logit_key_prefix = (
+                            self.model.signature(),
+                            self._weights_version,
+                        )
                     logits = self.model.predict_logits(graph, cache)
                     forwards += 1
                     if self.cache_logits:
@@ -354,7 +479,7 @@ class InferenceServer:
                         # client mutating ticket.logits in place cannot
                         # corrupt the cached copy served to later requests.
                         logits.setflags(write=False)
-                        self._logit_cache.put(key, logits)
+                        self._logit_cache.put((*self._logit_key_prefix, key), logits)
             except BaseException as error:  # fan the failure out, keep serving
                 for ticket in tickets:
                     ticket._fail(error)

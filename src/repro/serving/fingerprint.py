@@ -13,6 +13,7 @@ from ..fingerprint import (
     graph_fingerprint,
     model_fingerprint,
     preprocess_key,
+    state_fingerprint,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "graph_fingerprint",
     "model_fingerprint",
     "preprocess_key",
+    "state_fingerprint",
 ]
