@@ -19,33 +19,36 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets import load_dataset
-from repro.training import run_repeated
+from repro.api import Session, SweepSpec
 
-from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
-from helpers import print_banner
+from conftest import FULL_PROTOCOL, bench_experiment_config
+from helpers import print_banner, write_bench_json
 
 DATASETS = ("chameleon",) if not FULL_PROTOCOL else ("citeseer", "chameleon", "squirrel")
 ALPHAS = (0.0, 0.1, 0.3, 0.5)
 
 
 def build_residual_ablation():
-    seeds, trainer = bench_seeds(), bench_trainer()
-    rows = {}
-    for dataset_name in DATASETS:
-        graph = load_dataset(dataset_name, seed=0)
-        per_alpha = {}
-        for alpha in ALPHAS:
-            result = run_repeated(
-                "ADPA",
-                graph,
-                seeds=seeds,
-                trainer=trainer,
-                model_kwargs={"hidden": 64, "num_steps": 5, "residual_alpha": alpha},
-            )
-            per_alpha[alpha] = result.test_mean
-        rows[dataset_name] = per_alpha
-    return rows
+    # The α sweep is a one-model variant grid on the natural digraphs.
+    spec = SweepSpec(
+        models=("ADPA",),
+        datasets=DATASETS,
+        view="natural",
+        config=bench_experiment_config(),
+        variants={
+            f"alpha={alpha}": {"hidden": 64, "num_steps": 5, "residual_alpha": alpha}
+            for alpha in ALPHAS
+        },
+    )
+    report = Session().experiment(spec)
+    rows = {
+        dataset_name: {
+            alpha: report.cell("ADPA", dataset_name, f"alpha={alpha}").test_mean
+            for alpha in ALPHAS
+        }
+        for dataset_name in DATASETS
+    }
+    return rows, report
 
 
 def print_residual_ablation(rows):
@@ -71,6 +74,7 @@ def check_residual_shape(rows):
 
 @pytest.mark.benchmark(group="ablation-residual")
 def test_residual_propagation_ablation(benchmark):
-    rows = benchmark.pedantic(build_residual_ablation, rounds=1, iterations=1)
+    rows, report = benchmark.pedantic(build_residual_ablation, rounds=1, iterations=1)
     print_residual_ablation(rows)
+    write_bench_json("ablation_residual", report.as_dict())
     check_residual_shape(rows)

@@ -15,10 +15,9 @@ import pytest
 
 from repro.datasets import load_dataset
 from repro.graph import to_undirected
-from repro.training import run_repeated
 
 from conftest import bench_seeds, bench_trainer
-from helpers import print_banner
+from helpers import print_banner, run_repeated_cell
 
 UNDIRECTED_MODELS = ("GCN", "GPRGNN")
 DIRECTED_MODELS = ("DiGCN", "DirGNN")
@@ -28,7 +27,7 @@ def _mean_accuracy(model_names, graph, seeds, trainer):
     return float(
         np.mean(
             [
-                run_repeated(name, graph, seeds=seeds, trainer=trainer).test_mean
+                run_repeated_cell(name, graph, seeds, trainer).test_mean
                 for name in model_names
             ]
         )

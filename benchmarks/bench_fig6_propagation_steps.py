@@ -11,10 +11,9 @@ import pytest
 
 from repro.datasets import load_dataset
 from repro.graph import to_undirected
-from repro.training import run_repeated
 
 from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
-from helpers import print_banner
+from helpers import print_banner, run_repeated_cell
 
 DATASETS = {"citeseer": False, "chameleon": True} if not FULL_PROTOCOL else {
     "coraml": False, "citeseer": False, "actor": False,
@@ -44,8 +43,8 @@ def build_fig6():
                 kwargs = {depth_key: depth}
                 if model_name == "ADPA":
                     kwargs["hidden"] = 64
-                result = run_repeated(
-                    model_name, view, seeds=seeds, trainer=trainer, model_kwargs=kwargs
+                result = run_repeated_cell(
+                    model_name, view, seeds, trainer, model_kwargs=kwargs
                 )
                 series.append(result.test_mean)
             per_model[model_name] = series

@@ -2,6 +2,9 @@
 
 Expected shape (not absolute numbers): undirected GNNs rank above directed
 GNNs on average, and ADPA is the best or among the best models.
+
+The table is one declarative sweep through ``Session.experiment``; the
+typed report is printed and persisted as ``BENCH_table3.json``.
 """
 
 from __future__ import annotations
@@ -9,23 +12,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import TABLE3_DATASETS, load_group
+from repro.datasets import TABLE3_DATASETS
 from repro.models import get_spec
-from repro.training import average_rank, format_results_table
+from repro.training import average_rank
 
-from conftest import FULL_PROTOCOL, bench_model_subset, bench_seeds, bench_trainer
-from helpers import print_banner, run_accuracy_table
+from conftest import FULL_PROTOCOL, bench_model_subset
+from helpers import print_banner, run_accuracy_table, write_bench_json
 
 #: quick protocol uses a representative third of the datasets
 DATASETS = TABLE3_DATASETS if FULL_PROTOCOL else ("coraml", "citeseer", "tolokers")
 
 
 def build_table3():
-    datasets = load_group(DATASETS, seed=0)
     models = bench_model_subset(directed=False)
-    return run_accuracy_table(
-        models, datasets, amud_directed=False, seeds=bench_seeds(), trainer=bench_trainer()
-    )
+    return run_accuracy_table(models, DATASETS, amud_directed=False)
 
 
 def check_table3_shape(table):
@@ -42,7 +42,8 @@ def check_table3_shape(table):
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_homophilous_accuracy(benchmark):
-    table = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    report = benchmark.pedantic(build_table3, rounds=1, iterations=1)
     print_banner("Table III — accuracy on homophilous (AMUndirected) datasets")
-    print(format_results_table(table))
-    check_table3_shape(table)
+    print(report.as_table())
+    write_bench_json("table3", report.as_dict())
+    check_table3_shape(report.by_dataset())

@@ -2,6 +2,9 @@
 
 Expected shape: directed GNNs rank above undirected GNNs, and ADPA ranks
 first or near-first.
+
+The table is one declarative sweep through ``Session.experiment``; the
+typed report is printed and persisted as ``BENCH_table4.json``.
 """
 
 from __future__ import annotations
@@ -9,22 +12,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import TABLE4_DATASETS, load_group
+from repro.datasets import TABLE4_DATASETS
 from repro.models import get_spec
-from repro.training import average_rank, format_results_table
+from repro.training import average_rank
 
-from conftest import FULL_PROTOCOL, bench_model_subset, bench_seeds, bench_trainer
-from helpers import print_banner, run_accuracy_table
+from conftest import FULL_PROTOCOL, bench_model_subset
+from helpers import print_banner, run_accuracy_table, write_bench_json
 
 DATASETS = TABLE4_DATASETS if FULL_PROTOCOL else ("texas", "chameleon", "squirrel")
 
 
 def build_table4():
-    datasets = load_group(DATASETS, seed=0)
     models = bench_model_subset(directed=True)
-    return run_accuracy_table(
-        models, datasets, amud_directed=True, seeds=bench_seeds(), trainer=bench_trainer()
-    )
+    return run_accuracy_table(models, DATASETS, amud_directed=True)
 
 
 def check_table4_shape(table):
@@ -41,7 +41,8 @@ def check_table4_shape(table):
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_heterophilous_accuracy(benchmark):
-    table = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    report = benchmark.pedantic(build_table4, rounds=1, iterations=1)
     print_banner("Table IV — accuracy on heterophilous (AMDirected) datasets")
-    print(format_results_table(table))
-    check_table4_shape(table)
+    print(report.as_table())
+    write_bench_json("table4", report.as_dict())
+    check_table4_shape(report.by_dataset())

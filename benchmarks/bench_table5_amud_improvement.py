@@ -13,39 +13,40 @@ import numpy as np
 import pytest
 
 from repro.amud import amud_decide
+from repro.api import Session, SweepSpec
 from repro.datasets import TABLE5_DATASETS, load_dataset
-from repro.graph import to_undirected
-from repro.training import run_repeated
 
-from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
-from helpers import DEFAULT_MODEL_KWARGS, print_banner
+from conftest import FULL_PROTOCOL, bench_experiment_config
+from helpers import DEFAULT_MODEL_KWARGS, print_banner, write_bench_json
 
 DATASETS = TABLE5_DATASETS if FULL_PROTOCOL else ("actor", "genius")
 MODELS = ("MagNet", "DirGNN", "ADPA") if not FULL_PROTOCOL else ("MagNet", "DIMPA", "DirGNN", "ADPA")
 
 
 def build_table5():
-    seeds, trainer = bench_seeds(), bench_trainer()
+    # Two sweeps over the same grid — one per input view — through the
+    # declarative experiment surface.
+    base = dict(
+        models=MODELS,
+        datasets=DATASETS,
+        config=bench_experiment_config(),
+        model_kwargs=DEFAULT_MODEL_KWARGS,
+    )
+    session = Session()
+    undirected = session.experiment(SweepSpec(view="undirected", **base))
+    directed = session.experiment(SweepSpec(view="natural", **base))
     rows = {}
     for dataset_name in DATASETS:
-        graph = load_dataset(dataset_name, seed=0)
-        decision = amud_decide(graph)
-        undirected = to_undirected(graph)
-        per_model = {}
-        for model_name in MODELS:
-            kwargs = DEFAULT_MODEL_KWARGS.get(model_name, {})
-            undirected_result = run_repeated(
-                model_name, undirected, seeds=seeds, trainer=trainer, model_kwargs=kwargs
-            )
-            directed_result = run_repeated(
-                model_name, graph, seeds=seeds, trainer=trainer, model_kwargs=kwargs
-            )
-            per_model[model_name] = {
-                "U": undirected_result.test_mean,
-                "D": directed_result.test_mean,
+        decision = amud_decide(load_dataset(dataset_name, seed=0))
+        per_model = {
+            model_name: {
+                "U": undirected.cell(model_name, dataset_name).test_mean,
+                "D": directed.cell(model_name, dataset_name).test_mean,
             }
+            for model_name in MODELS
+        }
         rows[dataset_name] = {"decision": decision, "models": per_model}
-    return rows
+    return rows, undirected, directed
 
 
 def print_table5(rows):
@@ -81,6 +82,9 @@ def check_table5_shape(rows):
 
 @pytest.mark.benchmark(group="table5")
 def test_table5_amud_improvement(benchmark):
-    rows = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    rows, undirected, directed = benchmark.pedantic(build_table5, rounds=1, iterations=1)
     print_table5(rows)
+    write_bench_json(
+        "table5", {"U": undirected.as_dict(), "D": directed.as_dict()}
+    )
     check_table5_shape(rows)

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datasets import load_dataset
-from repro.training import run_repeated
+from repro.api import Session, SweepSpec
 
-from conftest import FULL_PROTOCOL, bench_seeds, bench_trainer
-from helpers import print_banner
+from conftest import FULL_PROTOCOL, bench_experiment_config
+from helpers import print_banner, write_bench_json
 
 DATASETS = ("coraml", "chameleon", "squirrel") if not FULL_PROTOCOL else (
     "coraml", "citeseer", "tolokers", "texas", "cornell", "wisconsin",
@@ -24,22 +23,26 @@ ORDERS = (1, 2, 3)
 
 
 def build_table6():
-    seeds, trainer = bench_seeds(), bench_trainer()
-    rows = {}
-    for dataset_name in DATASETS:
-        graph = load_dataset(dataset_name, seed=0)
-        per_order = {}
-        for order in ORDERS:
-            result = run_repeated(
-                "ADPA",
-                graph,
-                seeds=seeds,
-                trainer=trainer,
-                model_kwargs={"hidden": 64, "num_steps": 2, "order": order},
-            )
-            per_order[order] = result.test_mean
-        rows[dataset_name] = per_order
-    return rows
+    # The k-order ablation is a one-model sweep with a variant per order.
+    spec = SweepSpec(
+        models=("ADPA",),
+        datasets=DATASETS,
+        view="natural",
+        config=bench_experiment_config(),
+        variants={
+            f"{order}-order": {"hidden": 64, "num_steps": 2, "order": order}
+            for order in ORDERS
+        },
+    )
+    report = Session().experiment(spec)
+    rows = {
+        dataset_name: {
+            order: report.cell("ADPA", dataset_name, f"{order}-order").test_mean
+            for order in ORDERS
+        }
+        for dataset_name in DATASETS
+    }
+    return rows, report
 
 
 def print_table6(rows):
@@ -62,6 +65,7 @@ def check_table6_shape(rows):
 
 @pytest.mark.benchmark(group="table6")
 def test_table6_korder_ablation(benchmark):
-    rows = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    rows, report = benchmark.pedantic(build_table6, rounds=1, iterations=1)
     print_table6(rows)
+    write_bench_json("table6", report.as_dict())
     check_table6_shape(rows)

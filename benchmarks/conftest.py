@@ -2,14 +2,15 @@
 
 Every benchmark regenerates one table or figure of the paper.  To keep the
 whole suite runnable on a laptop CPU in minutes, the benchmarks default to a
-reduced protocol (one seed, shortened training, a representative model
+quick protocol (one seed, shortened training, a representative model
 subset); the environment variable ``REPRO_BENCH_FULL=1`` switches to the
-full protocol (three seeds, longer training, the complete model zoo).
+paper's full protocol (ten seeded trials — :data:`repro.api.DEFAULT_SEEDS`
+— longer training, the complete model zoo).
 
-The actual table rows are printed to stdout so that
-``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment report
-generator; pytest-benchmark additionally records the wall-clock cost of each
-regeneration.
+The table benchmarks drive :meth:`repro.api.Session.experiment`, so the
+rows printed by ``pytest benchmarks/ --benchmark-only -s`` and the
+``BENCH_*.json`` files they emit come from the same typed reports the
+``repro experiment`` CLI produces.
 """
 
 from __future__ import annotations
@@ -23,7 +24,10 @@ FULL_PROTOCOL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
 def bench_seeds():
-    return (0, 1, 2) if FULL_PROTOCOL else (0,)
+    """Seed protocol: the paper's ten trials, or one under ``--quick``."""
+    from repro.api import DEFAULT_SEEDS
+
+    return DEFAULT_SEEDS if FULL_PROTOCOL else (0,)
 
 
 def bench_trainer():
@@ -32,6 +36,15 @@ def bench_trainer():
     if FULL_PROTOCOL:
         return Trainer(epochs=200, patience=30)
     return Trainer(epochs=80, patience=20)
+
+
+def bench_experiment_config():
+    """The protocol as a frozen :class:`repro.api.ExperimentConfig`."""
+    from repro.api import ExperimentConfig, TrainConfig
+
+    return ExperimentConfig(
+        seeds=bench_seeds(), train=TrainConfig.from_trainer(bench_trainer())
+    )
 
 
 def bench_model_subset(directed: bool):

@@ -1,20 +1,28 @@
 """Shared utilities for the benchmark harness.
 
-The input-view convention follows the paper's experimental setup (Sec. V-A):
+The input-view convention follows the paper's experimental setup (Sec. V-A)
+and is implemented once, in :func:`repro.api.resolve_view`:
 
 * undirected GNNs are always fed the coarse undirected transformation (U-);
 * directed GNNs are fed the natural digraph (D-);
-* ADPA is fed the AMUD output — undirected for Table III datasets,
-  directed for Table IV datasets (Fig. 1 workflow).
+* ADPA is fed the AMUD output — undirected for Table III datasets
+  (``view="paper-undirected"``), directed for Table IV datasets
+  (``view="paper-directed"``), per-dataset regime under ``view="amud"``.
+
+Every accuracy table is one declarative :class:`repro.api.SweepSpec`
+executed by :meth:`repro.api.Session.experiment`, so the benchmark scripts
+stay a thin shell over the same surface the CLI and library expose.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.graph import DirectedGraph, to_undirected
-from repro.models import get_spec, PROPOSED
-from repro.training import ExperimentResult, Trainer, run_repeated
+from repro.api import Session, SweepReport, SweepSpec
+from repro.graph import DirectedGraph
+from repro.training import Trainer
+
+from conftest import bench_experiment_config
 
 #: per-model constructor overrides used across benchmarks (kept small: the
 #: defaults already follow each original paper's recommended settings).
@@ -23,47 +31,54 @@ DEFAULT_MODEL_KWARGS: Dict[str, Dict] = {
 }
 
 
-def resolve_input_view(model_name: str, graph: DirectedGraph, amud_directed: bool) -> DirectedGraph:
-    """Pick the U-/D- input view for a model following the paper's protocol."""
-    spec = get_spec(model_name)
-    if spec.category == PROPOSED:
-        return graph if amud_directed else to_undirected(graph)
-    if spec.is_directed:
-        return graph
-    return to_undirected(graph)
-
-
-def run_table_cell(
-    model_name: str,
-    graph: DirectedGraph,
+def paper_table_spec(
+    model_names: Sequence[str],
+    dataset_names: Sequence[str],
     amud_directed: bool,
-    seeds: Sequence[int],
-    trainer: Trainer,
-    model_kwargs: Optional[Dict] = None,
-) -> ExperimentResult:
-    """Train one model on one dataset under the table's input-view protocol."""
-    view = resolve_input_view(model_name, graph, amud_directed)
-    kwargs = dict(DEFAULT_MODEL_KWARGS.get(model_name, {}))
-    if model_kwargs:
-        kwargs.update(model_kwargs)
-    return run_repeated(model_name, view, seeds=seeds, trainer=trainer, model_kwargs=kwargs)
+) -> SweepSpec:
+    """The declarative spec of one Table III/IV-style accuracy table."""
+    return SweepSpec(
+        models=tuple(model_names),
+        datasets=tuple(dataset_names),
+        view="paper-directed" if amud_directed else "paper-undirected",
+        config=bench_experiment_config(),
+        model_kwargs=DEFAULT_MODEL_KWARGS,
+    )
 
 
 def run_accuracy_table(
     model_names: Sequence[str],
-    datasets: Dict[str, DirectedGraph],
+    dataset_names: Sequence[str],
     amud_directed: bool,
+) -> SweepReport:
+    """Fill a full (model × dataset) accuracy table via ``Session.experiment``."""
+    return Session().experiment(paper_table_spec(model_names, dataset_names, amud_directed))
+
+
+def run_repeated_cell(
+    model_name: str,
+    graph: DirectedGraph,
     seeds: Sequence[int],
     trainer: Trainer,
-) -> Dict[str, List[ExperimentResult]]:
-    """Fill a full (model x dataset) accuracy table."""
-    table: Dict[str, List[ExperimentResult]] = {}
-    for dataset_name, graph in datasets.items():
-        table[dataset_name] = [
-            run_table_cell(name, graph, amud_directed, seeds, trainer)
-            for name in model_names
-        ]
-    return table
+    model_kwargs: Optional[Dict] = None,
+):
+    """Repeated-seed helper for benchmarks that drive explicit graph views.
+
+    A thin wrapper over the :mod:`repro.api` executor (the figure
+    benchmarks sweep hand-built views, which a dataset-name spec cannot
+    express); returns the typed :class:`repro.api.ExperimentReport`.
+    """
+    from repro.api.experiment import execute_repeated
+
+    report, _ = execute_repeated(
+        model_name,
+        graph,
+        seeds=seeds,
+        train=trainer,
+        model_kwargs=model_kwargs,
+        max_workers=None,
+    )
+    return report
 
 
 def print_banner(title: str) -> None:

@@ -21,10 +21,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import Trainer, load_dataset
+from repro import load_dataset
 from repro.amud import amud_decide
-from repro.graph import to_undirected
-from repro.training import run_single
+from repro.api import Session, TrainConfig
 
 
 def main(dataset_name: str = "squirrel") -> None:
@@ -32,20 +31,21 @@ def main(dataset_name: str = "squirrel") -> None:
     decision = amud_decide(graph)
     print(f"{graph.name}: AMUD score {decision.score:.3f} -> model as {decision.modeling}\n")
 
-    trainer = Trainer(epochs=150, patience=30)
-    undirected = to_undirected(graph)
+    session = Session(train=TrainConfig(epochs=150, patience=30))
+    natural = session.from_graph(graph)
+    undirected = natural.undirected()
     strategies = [
         ("U- GCN      (coarse undirected + homophilous GNN)", "GCN", undirected, {}),
         ("U- GPR-GNN  (coarse undirected + heterophily GNN)", "GPRGNN", undirected, {}),
-        ("D- DirGNN   (natural digraph + directed GNN)", "DirGNN", graph, {}),
-        ("D- ADPA     (natural digraph + proposed model)", "ADPA", graph,
+        ("D- DirGNN   (natural digraph + directed GNN)", "DirGNN", natural, {}),
+        ("D- ADPA     (natural digraph + proposed model)", "ADPA", natural,
          {"hidden": 64, "num_steps": 3}),
     ]
     results = []
-    for label, model_name, data, kwargs in strategies:
-        run = run_single(model_name, data, seed=0, trainer=trainer, model_kwargs=kwargs)
-        results.append((label, run.test_accuracy))
-        print(f"{label:<55s} test accuracy {run.test_accuracy:.3f}")
+    for label, model_name, handle, kwargs in strategies:
+        model = handle.fit(model_name, **kwargs)
+        results.append((label, model.test_accuracy))
+        print(f"{label:<55s} test accuracy {model.test_accuracy:.3f}")
 
     best = max(results, key=lambda item: item[1])
     print(f"\nBest strategy: {best[0]} ({best[1]:.3f})")

@@ -171,15 +171,26 @@ class ADPA(NodeClassifier):
     # ------------------------------------------------------------------ #
     # Forward pass (Fig. 4b)
     # ------------------------------------------------------------------ #
+    def bind_cache(self, cache: Dict[str, object]) -> None:
+        """Build the attention modules from a cache computed elsewhere.
+
+        A shared-cache hit (or an on-disk spill reload) hands this instance
+        a preprocess result computed by an equal-signature twin; the module
+        shapes are fully determined by the cache, so build them from it.
+        """
+        names = cache.get("operator_names")
+        if names is None:
+            raise RuntimeError(
+                "ADPA given a preprocess cache without operator_names; "
+                "was it computed by a different model?"
+            )
+        self._build_modules(num_operators=len(names))
+
     def forward(self, cache: Dict[str, object]) -> Tensor:
         if not self._modules_built:
-            # A shared-cache hit can hand this instance a preprocess result
-            # computed by an equal-signature twin; the module shapes are
-            # fully determined by the cache, so build them from it.
-            names = cache.get("operator_names")
-            if names is None:
+            if "operator_names" not in cache:
                 raise RuntimeError("ADPA.forward called before preprocess()")
-            self._build_modules(num_operators=len(names))
+            self.bind_cache(cache)
         steps: List[List[Tensor]] = cache["steps"]
         hop_representations = []
         for blocks in steps:

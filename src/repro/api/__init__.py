@@ -2,18 +2,35 @@
 
 One documented way to drive the system end to end::
 
-    from repro.api import Session
+    from repro.api import Session, SweepSpec
 
     model = Session().load("chameleon").amud().fit()  # guidance-selected, trained
     server = model.serve()                            # one micro-batching engine
     model.save("runs/chameleon")
     router = Session().serve("runs/chameleon")        # multi-artifact front door
 
-See :mod:`repro.api.session` for the Session / handle semantics and
-:mod:`repro.api.config` for the frozen configuration dataclasses.
+    cell = Session().load("texas").fit_repeated("MLP", hidden=16)  # mean ± std
+    report = Session().experiment(                                 # full grid
+        SweepSpec(models=("MLP", "GPRGNN"), datasets=("texas", "cornell"))
+    )
+    report.save("runs/report.json")
+
+See :mod:`repro.api.session` for the Session / handle semantics,
+:mod:`repro.api.config` for the frozen configuration dataclasses and
+:mod:`repro.api.report` for the typed experiment reports.
 """
 
-from .config import AmudConfig, ServeConfig, TrainConfig
+from .config import (
+    DEFAULT_SEEDS,
+    SWEEP_VIEWS,
+    AmudConfig,
+    ExperimentConfig,
+    ServeConfig,
+    SweepSpec,
+    TrainConfig,
+)
+from .experiment import execute_repeated, execute_single, resolve_view, run_sweep
+from .report import ExperimentReport, RunReport, SweepReport
 from .session import (
     ARTIFACT_KIND,
     GraphHandle,
@@ -33,8 +50,19 @@ __all__ = [
     "TrainConfig",
     "AmudConfig",
     "ServeConfig",
+    "ExperimentConfig",
+    "SweepSpec",
+    "RunReport",
+    "ExperimentReport",
+    "SweepReport",
+    "DEFAULT_SEEDS",
+    "SWEEP_VIEWS",
     "ARTIFACT_KIND",
     "width_kwargs",
+    "resolve_view",
+    "execute_single",
+    "execute_repeated",
+    "run_sweep",
     "decision_to_dict",
     "decision_from_dict",
     "train_result_to_dict",

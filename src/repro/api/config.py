@@ -1,7 +1,7 @@
 """Frozen configuration objects for the :mod:`repro.api` facade.
 
 Every knob of the load → AMUD → train → serve workflow lives in one of
-three immutable dataclasses, so a configuration can be validated once,
+these immutable dataclasses, so a configuration can be validated once,
 shared between threads, logged, and passed through the CLI, programs and a
 network front-end without kwargs drift:
 
@@ -10,16 +10,61 @@ network front-end without kwargs drift:
 * :class:`AmudConfig` — the AMUD threshold θ and the model the guidance
   selects for each paradigm;
 * :class:`ServeConfig` — micro-batching, caching and back-pressure limits
-  for :class:`repro.serving.InferenceServer` / :class:`repro.serving.ShardRouter`.
+  for :class:`repro.serving.InferenceServer` / :class:`repro.serving.ShardRouter`;
+* :class:`ExperimentConfig` — the paper's repeated-trial protocol (seeds,
+  trainer settings, model kwargs, worker bound);
+* :class:`SweepSpec` — a declarative models × datasets × variants grid
+  executed by :meth:`repro.api.Session.experiment`.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
-from typing import Dict, Optional
+import inspect
+import json
+from dataclasses import asdict, dataclass, field, replace
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..models.registry import get_spec
 from ..training.trainer import Trainer
+
+
+def _validate_model_kwargs(model_name: str, kwargs: Mapping[str, object]) -> None:
+    """Fail fast on constructor kwargs the model cannot accept.
+
+    A sweep cell that dies on an unknown kwarg should do so when the spec
+    is built, not a thousand training runs into the grid.  Constructors
+    taking ``**kwargs`` (e.g. the lazy ADPA factory) cannot be checked
+    statically and are skipped.
+    """
+    spec = get_spec(model_name)
+    try:
+        parameters = inspect.signature(spec.constructor).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - builtin constructors
+        return
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+        return
+    accepted = {p.name for p in parameters}
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise ValueError(
+            f"model {spec.name} does not accept constructor kwargs {unknown}; "
+            f"accepted: {sorted(accepted - {'num_features', 'num_classes'})}"
+        )
+
+#: the paper's experimental protocol: every result is mean ± std over ten
+#: repeated seeded trials (Sec. V-A).
+DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(10))
+
+#: input-view protocols a sweep cell can request (Sec. V-A conventions).
+SWEEP_VIEWS = (
+    "natural",  # the digraph exactly as loaded (D-)
+    "undirected",  # the coarse undirected transformation (U-)
+    "amud",  # the AMUD-regime view of each dataset (Fig. 1 workflow)
+    "paper-undirected",  # per-model U-/D- protocol; ADPA fed the U- view
+    "paper-directed",  # per-model U-/D- protocol; ADPA fed the D- view
+)
 
 
 @dataclass(frozen=True)
@@ -153,3 +198,245 @@ class ServeConfig:
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """The repeated-trial protocol: which seeds, how to train, how to run.
+
+    One :class:`ExperimentConfig` describes everything a single experiment
+    cell needs beyond the (model, dataset) pair: the seed list (defaulting
+    to the paper's ten trials), the frozen training hyper-parameters,
+    constructor kwargs applied to every cell, and the bound of the worker
+    pool that executes runs (``max_workers=None`` sizes it automatically
+    from the CPU count; ``1`` forces serial execution — both produce
+    bit-identical aggregates by construction).
+    """
+
+    seeds: Tuple[int, ...] = DEFAULT_SEEDS
+    train: TrainConfig = TrainConfig()
+    model_kwargs: Mapping[str, object] = field(default_factory=dict)
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        seeds = tuple(int(seed) for seed in self.seeds)
+        if not seeds:
+            raise ValueError("seeds must not be empty")
+        if len(set(seeds)) != len(seeds):
+            raise ValueError(f"duplicate seeds: {seeds}")
+        object.__setattr__(self, "seeds", seeds)
+        if not isinstance(self.train, TrainConfig):
+            raise TypeError(
+                f"train must be a TrainConfig, got {type(self.train).__name__}"
+            )
+        object.__setattr__(self, "model_kwargs", dict(self.model_kwargs))
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1 or None, got {self.max_workers}")
+
+    def build_trainer(self) -> Trainer:
+        return self.train.build_trainer()
+
+    def quick(self) -> "ExperimentConfig":
+        """The one-seed smoke protocol (CI / ``repro experiment --quick``)."""
+        return self.replace(
+            seeds=(self.seeds[0],),
+            train=self.train.replace(
+                epochs=min(self.train.epochs, 40),
+                patience=min(self.train.patience, 10),
+            ),
+        )
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seeds": list(self.seeds),
+            "train": self.train.as_dict(),
+            "model_kwargs": dict(self.model_kwargs),
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentConfig":
+        unknown = set(payload) - {"seeds", "train", "model_kwargs", "max_workers"}
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig keys: {sorted(unknown)}")
+        train = payload.get("train", {})
+        if not isinstance(train, TrainConfig):
+            known_train = {field.name for field in dataclass_fields(TrainConfig)}
+            unknown_train = set(train) - known_train
+            if unknown_train:
+                raise ValueError(
+                    f"unknown train keys: {sorted(unknown_train)}; "
+                    f"expected a subset of {sorted(known_train)}"
+                )
+            train = TrainConfig(**train)
+        return cls(
+            seeds=tuple(payload.get("seeds", DEFAULT_SEEDS)),
+            train=train,
+            model_kwargs=dict(payload.get("model_kwargs", {})),
+            max_workers=payload.get("max_workers"),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative models × datasets × variants experiment grid.
+
+    ``variants`` maps a variant label to constructor-kwarg overrides, which
+    is how ablation grids (k-order sweeps, attention families, residual
+    strengths) are expressed; the default is one unnamed variant with no
+    overrides.  ``model_kwargs`` carries per-model constructor overrides
+    (looked up by registry name, case-insensitively).  ``view`` selects the
+    input-view protocol for every cell — see :data:`SWEEP_VIEWS`.
+
+    The cell order — datasets outermost, then models, then variants — is
+    part of the contract: reports list cells in exactly this order no
+    matter how the runs were scheduled.
+    """
+
+    models: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    config: ExperimentConfig = ExperimentConfig()
+    view: str = "natural"
+    variants: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    model_kwargs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    dataset_seed: int = 0
+
+    def __post_init__(self) -> None:
+        models = tuple(str(name) for name in self.models)
+        if not models:
+            raise ValueError("models must not be empty")
+        for name in models:
+            get_spec(name)  # unknown registry names fail at spec build time
+        object.__setattr__(self, "models", models)
+
+        # Normalised to the registry's lower-case names, matching what
+        # load_dataset accepts, so report lookups have one canonical key.
+        datasets = tuple(str(name).lower() for name in self.datasets)
+        if not datasets:
+            raise ValueError("datasets must not be empty")
+        from ..datasets.registry import DATASET_CONFIGS
+
+        for name in datasets:
+            if name not in DATASET_CONFIGS:
+                raise KeyError(
+                    f"unknown dataset {name!r}; available: {sorted(DATASET_CONFIGS)}"
+                )
+        object.__setattr__(self, "datasets", datasets)
+
+        if not isinstance(self.config, ExperimentConfig):
+            raise TypeError(
+                f"config must be an ExperimentConfig, got {type(self.config).__name__}"
+            )
+        if self.view not in SWEEP_VIEWS:
+            raise ValueError(f"unknown view {self.view!r}; expected one of {SWEEP_VIEWS}")
+        variants = self.variants or {"": {}}
+        object.__setattr__(
+            self,
+            "variants",
+            {str(label): dict(overrides) for label, overrides in variants.items()},
+        )
+        object.__setattr__(
+            self,
+            "model_kwargs",
+            {str(name): dict(kwargs) for name, kwargs in self.model_kwargs.items()},
+        )
+        # Every cell's merged kwargs must be constructible; catching a typo
+        # here beats dying mid-grid after hours of training.
+        for model in self.models:
+            for variant in self.variants:
+                merged = self.kwargs_for(model, variant)
+                if "seed" in merged:
+                    raise ValueError(
+                        "model kwargs must not pin 'seed'; the per-trial seed "
+                        "comes from the config's seeds list"
+                    )
+                _validate_model_kwargs(model, merged)
+
+    def cells(self) -> Sequence[Tuple[str, str, str]]:
+        """The (dataset, model, variant) triples in canonical order."""
+        return [
+            (dataset, model, variant)
+            for dataset in self.datasets
+            for model in self.models
+            for variant in self.variants
+        ]
+
+    def kwargs_for(self, model: str, variant: str) -> Dict[str, object]:
+        """Merged constructor kwargs for one cell.
+
+        Precedence (later wins): config-wide kwargs, per-model kwargs,
+        variant overrides.
+        """
+        merged = dict(self.config.model_kwargs)
+        per_model = self.model_kwargs.get(model, self.model_kwargs.get(model.lower()))
+        if per_model:
+            merged.update(per_model)
+        merged.update(self.variants[variant])
+        return merged
+
+    def replace(self, **changes) -> "SweepSpec":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "models": list(self.models),
+            "datasets": list(self.datasets),
+            "config": self.config.as_dict(),
+            "view": self.view,
+            "variants": {label: dict(kw) for label, kw in self.variants.items()},
+            "model_kwargs": {name: dict(kw) for name, kw in self.model_kwargs.items()},
+            "dataset_seed": self.dataset_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepSpec":
+        """Build a spec from a plain mapping (parsed TOML/JSON).
+
+        The experiment protocol may be given nested under ``config`` or as
+        the top-level shortcuts ``seeds`` / ``train`` / ``max_workers``
+        (friendlier in TOML).
+        """
+        payload = dict(payload)
+        known = {
+            "models", "datasets", "config", "view", "variants", "model_kwargs",
+            "dataset_seed", "seeds", "train", "max_workers",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SweepSpec keys: {sorted(unknown)}")
+        config_payload = dict(payload.get("config", {}))
+        for shortcut in ("seeds", "train", "max_workers"):
+            if shortcut in payload:
+                config_payload[shortcut] = payload[shortcut]
+        return cls(
+            models=tuple(payload.get("models", ())),
+            datasets=tuple(payload.get("datasets", ())),
+            config=ExperimentConfig.from_dict(config_payload),
+            view=payload.get("view", "natural"),
+            variants=payload.get("variants", {}),
+            model_kwargs=payload.get("model_kwargs", {}),
+            dataset_seed=int(payload.get("dataset_seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError:  # pragma: no cover - version-dependent
+                raise ValueError(
+                    "TOML specs need Python 3.11+ (tomllib); use a JSON spec on "
+                    "older interpreters"
+                ) from None
+            payload = tomllib.loads(text)
+        else:
+            payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError(f"spec file {path} must contain a table/object at top level")
+        return cls.from_dict(payload)

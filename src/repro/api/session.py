@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,7 +40,9 @@ from ..serving.artifacts import ModelArtifact, restore_model, save_model
 from ..serving.engine import InferenceServer
 from ..serving.router import ShardRouter
 from ..training.trainer import Trainer, TrainResult
-from .config import AmudConfig, ServeConfig, TrainConfig
+from .config import AmudConfig, ExperimentConfig, ServeConfig, SweepSpec, TrainConfig
+from .experiment import execute_repeated, run_sweep
+from .report import ExperimentReport, SweepReport
 
 PathLike = Union[str, Path]
 
@@ -162,21 +164,51 @@ class Session:
         )
 
     # ------------------------------------------------------------------ #
+    # Experiments
+    # ------------------------------------------------------------------ #
+    def experiment(self, spec: Union[SweepSpec, Dict[str, object]]) -> SweepReport:
+        """Execute a declarative models × datasets × variants sweep.
+
+        ``spec`` is a :class:`SweepSpec` (or a plain mapping parsed from a
+        TOML/JSON spec file).  A :class:`SweepSpec` is self-contained — its
+        :class:`ExperimentConfig` carries the training protocol, so the
+        session's ``train`` default does not apply; a mapping without
+        ``train`` settings inherits the session's training config.  Runs
+        execute on a bounded worker pool; the report lists cells in the
+        spec's canonical order with aggregates bit-identical to serial
+        execution.
+        """
+        if not isinstance(spec, SweepSpec):
+            spec = dict(spec)
+            if "train" not in spec and "train" not in spec.get("config", {}):
+                config = dict(spec.get("config", {}))
+                config["train"] = self.train_config
+                spec["config"] = config
+            spec = SweepSpec.from_dict(spec)
+        return run_sweep(spec)
+
+    # ------------------------------------------------------------------ #
     # Serving front door
     # ------------------------------------------------------------------ #
     def serve(
         self,
         *sources: Union["ModelHandle", PathLike],
         config: Optional[ServeConfig] = None,
+        cache_dir: Optional[PathLike] = None,
     ) -> ShardRouter:
         """Build a :class:`ShardRouter` over handles and/or artifact dirs.
 
         The router is returned un-started; use it as a context manager (or
         call ``start()``/``stop()``).  All shards share one operator cache
-        and one weights-versioned logit cache.
+        and one weights-versioned logit cache.  ``cache_dir`` warms the
+        operator cache from an on-disk spill directory *before* the
+        artifacts load, so their preprocessing is skipped on a hit (see
+        :meth:`repro.serving.OperatorCache.warm`).
         """
         config = config if config is not None else self.serve_config
         router = ShardRouter(**config.router_kwargs())
+        if cache_dir is not None:
+            router.operator_cache.warm(cache_dir)
         for source in sources:
             if isinstance(source, ModelHandle):
                 router.add_shard(
@@ -285,6 +317,57 @@ class GraphHandle:
             decision=handle.decision,
             train_result=train_result,
         )
+
+    def fit_repeated(
+        self,
+        model: Optional[str] = None,
+        config: Optional[ExperimentConfig] = None,
+        seeds: Optional[Sequence[int]] = None,
+        train: Optional[Union[TrainConfig, Trainer]] = None,
+        amud: Optional[AmudConfig] = None,
+        variant: str = "",
+        **model_kwargs,
+    ) -> ExperimentReport:
+        """Train one model over repeated seeds and aggregate (paper protocol).
+
+        Model selection mirrors :meth:`fit` — ``model=None`` follows the
+        AMUD guidance.  The seed list, trainer settings and worker bound
+        come from ``config`` (default: a fresh :class:`ExperimentConfig`
+        whose training settings are the session's); ``seeds`` and ``train``
+        override the corresponding config fields, and ``train`` may also be
+        a pre-built :class:`Trainer`.  Runs execute on a bounded worker
+        pool; aggregation is bit-identical to serial execution.
+        """
+        handle = self
+        amud_config = (
+            amud
+            if amud is not None
+            else (self.amud_config if self.amud_config is not None else self.session.amud_config)
+        )
+        if model is None:
+            if handle.decision is None:
+                handle = handle.amud(amud_config)
+            model = amud_config.model_for(handle.decision.keep_directed)
+        else:
+            get_spec(model)
+
+        if config is None:
+            config = ExperimentConfig(train=self.session.train_config)
+        if seeds is not None:
+            config = config.replace(seeds=tuple(seeds))
+        trainer: Union[TrainConfig, Trainer] = train if train is not None else config.train
+
+        kwargs = {**config.model_kwargs, **model_kwargs}
+        report, _ = execute_repeated(
+            model,
+            handle.graph,
+            seeds=config.seeds,
+            train=trainer,
+            model_kwargs=kwargs,
+            max_workers=config.max_workers,
+            variant=variant,
+        )
+        return report
 
 
 @dataclass

@@ -19,7 +19,13 @@ programs and the serving front door all drive the same
 
 ``python -m repro.cli serve-bench <artifact-dir> [<artifact-dir> ...]``
     Drive one or many artifacts through the shard-router front door under
-    concurrent load.
+    concurrent load; ``--cache-dir`` persists the operator cache across
+    processes (warm before, spill after).
+
+``python -m repro.cli experiment <spec.toml|spec.json>``
+    Run a declarative :class:`repro.api.SweepSpec` (models × datasets ×
+    variants, repeated over seeds) and emit the typed report as a table
+    and/or JSON.
 
 ``python -m repro.cli datasets``
     List the registered benchmark stand-ins with their statistics.
@@ -41,7 +47,7 @@ from typing import List, Optional
 import numpy as np
 
 from .amud import amud_decide
-from .api import ServeConfig, Session, TrainConfig, width_kwargs
+from .api import ServeConfig, Session, SweepSpec, TrainConfig, width_kwargs
 from .datasets import dataset_config, list_datasets
 from .metrics import accuracy, homophily_report
 from .models import available_models, get_spec
@@ -148,6 +154,39 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--max-pending", type=int, default=256,
         help="front-door back-pressure: max in-flight requests across shards",
+    )
+    bench_parser.add_argument(
+        "--cache-dir", default=None,
+        help="operator-cache spill directory: warmed before the artifacts "
+             "load, re-spilled after the benchmark (cold starts become warm "
+             "across processes)",
+    )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment",
+        help="run a declarative experiment spec (TOML/JSON) and emit the report",
+    )
+    experiment_parser.add_argument(
+        "spec", help="path to a SweepSpec file (.json anywhere, .toml on Python 3.11+)"
+    )
+    experiment_parser.add_argument(
+        "--out", default=None, help="write the report JSON to this path"
+    )
+    experiment_parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke protocol: first seed only, epochs/patience capped",
+    )
+    experiment_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="override the spec's seed list",
+    )
+    experiment_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool bound (default: spec setting, else CPU count)",
+    )
+    experiment_parser.add_argument(
+        "--json", action="store_true",
+        help="print the report JSON to stdout instead of the table",
     )
 
     subparsers.add_parser("datasets", help="list registered datasets")
@@ -286,11 +325,17 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         )
     )
     try:
-        router = session.serve(*args.artifacts)
+        router = session.serve(*args.artifacts, cache_dir=args.cache_dir)
     except _ARTIFACT_ERRORS as error:
         # Router construction loads artifacts one by one; report whichever
         # path failed (the message from the loader names the missing file).
         return _artifact_error(" | ".join(args.artifacts), error)
+    if args.cache_dir:
+        warm_stats = router.operator_cache.stats()
+        print(
+            f"cache dir {args.cache_dir}: {warm_stats.hits} preprocess "
+            f"entr{'y' if warm_stats.hits == 1 else 'ies'} reused at load"
+        )
 
     shards = router.shards()
     per_client = max(1, args.requests // args.clients)
@@ -352,6 +397,39 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         f"logit cache: {logit_stats['hits']} hits / {logit_stats['misses']} misses "
         f"(weights-versioned keys)"
     )
+    if args.cache_dir:
+        spilled = router.operator_cache.spill(args.cache_dir)
+        print(f"spilled {spilled} preprocess entr{'y' if spilled == 1 else 'ies'} to {args.cache_dir}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    # The overrides re-validate through the frozen configs, so a bad
+    # --seeds/--workers value fails here with the same clean exit as a bad
+    # spec file.
+    try:
+        spec = SweepSpec.from_file(args.spec)
+        config = spec.config
+        if args.quick:
+            config = config.quick()
+        if args.seeds:
+            config = config.replace(seeds=tuple(args.seeds))
+        if args.workers is not None:
+            config = config.replace(max_workers=args.workers)
+        spec = spec.replace(config=config)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        reason = str(error) or type(error).__name__
+        print(f"error: cannot load experiment spec {args.spec!r}: {reason}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+
+    report = Session().experiment(spec)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.as_table())
+    if args.out:
+        path = report.save(args.out)
+        print(f"report: {path}")
     return 0
 
 
@@ -382,6 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _command_export,
         "predict": _command_predict,
         "serve-bench": _command_serve_bench,
+        "experiment": _command_experiment,
         "datasets": _command_datasets,
         "models": _command_models,
     }

@@ -106,6 +106,18 @@ class NodeClassifier(Module):
         kwargs = getattr(self, "_init_kwargs", {})
         return f"{name}:{model_fingerprint(name, kwargs)}"
 
+    def bind_cache(self, cache: Dict[str, object]) -> None:
+        """Adopt a preprocess cache computed elsewhere.
+
+        Called when this instance is handed a cache it did not compute — a
+        shared :class:`repro.serving.cache.OperatorCache` hit or an on-disk
+        spill reload.  Models that build modules lazily inside
+        ``preprocess`` (e.g. ADPA) override this to rebuild the same
+        architecture from the cache content, so stored weights can be
+        loaded afterwards; the default is a no-op.
+        """
+        return None
+
     def preprocess_cached(self, graph: DirectedGraph, cache) -> Dict[str, object]:
         """Fetch (or build) the preprocess output through a shared cache.
 

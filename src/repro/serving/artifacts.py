@@ -88,15 +88,26 @@ class ModelArtifact:
         model._init_kwargs = dict(self.model_kwargs)
         return model
 
-    def restore(self, graph: DirectedGraph) -> Tuple[NodeClassifier, Dict[str, object]]:
+    def restore(
+        self, graph: DirectedGraph, operator_cache=None
+    ) -> Tuple[NodeClassifier, Dict[str, object]]:
         """Build the model, preprocess ``graph`` and load the stored weights.
 
         Returns ``(model, cache)`` ready for ``model.forward(cache)``; the
         preprocess happens *before* the weight load so lazily-built modules
-        exist when their parameters are restored.
+        exist when their parameters are restored.  ``operator_cache`` (a
+        :class:`repro.serving.cache.OperatorCache`) routes the preprocess
+        through a shared cache: on a hit — another shard of the same
+        configuration, or a directory warmed from an on-disk spill — the
+        whole precomputation is skipped and ``bind_cache`` rebuilds any
+        lazily-constructed modules from the cached result instead.
         """
         model = self.build_model()
-        cache = model.preprocess(graph)
+        if operator_cache is None:
+            cache = model.preprocess(graph)
+        else:
+            cache = operator_cache.preprocess(model, graph)
+        model.bind_cache(cache)
         model.load_state_dict(self.state)
         # From here on, any lazy module rebuild would discard the loaded
         # weights; models with shape-dependent lazy construction check this
@@ -208,13 +219,16 @@ def load_artifact_graph(directory: PathLike) -> Optional[DirectedGraph]:
 def restore_model(
     directory: PathLike,
     graph: Optional[DirectedGraph] = None,
+    operator_cache=None,
 ) -> Tuple[NodeClassifier, Dict[str, object], ModelArtifact, DirectedGraph]:
     """One-call reload: artifact + graph + preprocess + weights.
 
     ``graph`` defaults to the graph stored inside the artifact; passing a
     different graph serves the same weights against new data (the preprocess
     is recomputed for it, and models with shape-dependent lazy construction
-    raise if the new graph is architecturally incompatible).  Returns
+    raise if the new graph is architecturally incompatible).
+    ``operator_cache`` is forwarded to :meth:`ModelArtifact.restore` so a
+    warm shared cache skips the preprocess entirely.  Returns
     ``(model, cache, artifact, graph)`` with the graph actually used.
     """
     artifact = load_artifact(directory)
@@ -224,5 +238,5 @@ def restore_model(
             raise FileNotFoundError(
                 f"artifact {directory} ships no {GRAPH_FILE}; pass a graph explicitly"
             )
-    model, cache = artifact.restore(graph)
+    model, cache = artifact.restore(graph, operator_cache=operator_cache)
     return model, cache, artifact, graph

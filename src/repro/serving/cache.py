@@ -9,19 +9,40 @@ Two layers of reuse make warm inference cheap:
   keyed by ``(model signature, graph fingerprint)``.  A hit skips *all*
   sparse precomputation (DP operator construction, K-step propagation),
   which is the dominant cost of the decoupled models.
+
+The operator cache can also persist its entries to disk
+(:meth:`OperatorCache.spill`) and reload them in another process
+(:meth:`OperatorCache.warm`): each entry becomes one ``.npz`` file named by
+a digest of its ``model-signature × graph-fingerprint`` key, so cold starts
+are warm across processes and machines.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
 
 from .fingerprint import preprocess_key
 
+PathLike = Union[str, Path]
+
 #: default number of (model, graph) preprocess results kept in memory.
 DEFAULT_CAPACITY = 8
+
+#: bumped whenever the on-disk spill layout changes.
+SPILL_FORMAT_VERSION = 1
+
+#: the structure-descriptor array stored inside every spill file.
+_SPILL_META = "__spill__"
 
 
 @dataclass
@@ -113,6 +134,11 @@ class LRUCache:
             if capacity > self.capacity:
                 self.capacity = capacity
 
+    def snapshot(self) -> List[Tuple[Any, Any]]:
+        """The (key, value) pairs, oldest first, without touching counters."""
+        with self._lock:
+            return list(self._entries.items())
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -126,6 +152,120 @@ class LRUCache:
                 size=len(self._entries),
                 capacity=self.capacity,
             )
+
+
+# ---------------------------------------------------------------------- #
+# On-disk spill codec
+# ---------------------------------------------------------------------- #
+# A preprocess result is an arbitrary nesting of dicts / lists / tuples
+# over ndarrays, autograd Tensors, scipy sparse operators, DirectedGraph
+# objects and JSON scalars.  The codec flattens every array into a numbered
+# slot of one .npz payload and records the nesting as a JSON structure
+# descriptor, so a reload is byte-identical (dtypes and shapes included).
+
+
+def _encode(value: Any, arrays: List[np.ndarray]) -> Dict[str, Any]:
+    """Encode ``value`` into a JSON node, appending its arrays to ``arrays``."""
+    from ..graph.digraph import DirectedGraph
+    from ..nn.tensor import Tensor
+
+    def slot(array: np.ndarray) -> int:
+        arrays.append(np.ascontiguousarray(array))
+        return len(arrays) - 1
+
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"t": "scalar", "v": value}
+    if isinstance(value, Tensor):
+        return {"t": "tensor", "i": slot(value.data)}
+    if isinstance(value, np.ndarray):
+        return {"t": "array", "i": slot(value)}
+    if sp.issparse(value):
+        csr = value.tocsr()
+        return {
+            "t": "sparse",
+            "format": value.getformat(),
+            "data": slot(csr.data),
+            "indices": slot(csr.indices),
+            "indptr": slot(csr.indptr),
+            "shape": list(csr.shape),
+        }
+    if isinstance(value, DirectedGraph):
+        node: Dict[str, Any] = {
+            "t": "graph",
+            "name": value.name,
+            "meta": json.dumps(value.meta, default=str),
+            "adjacency": _encode(value.adjacency, arrays),
+            "features": slot(value.features),
+            "labels": slot(value.labels),
+        }
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(value, mask_name)
+            node[mask_name] = None if mask is None else slot(mask)
+        return node
+    if isinstance(value, dict):
+        items = []
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"cannot spill dict key of type {type(key).__name__}")
+            items.append([key, _encode(entry, arrays)])
+        return {"t": "dict", "items": items}
+    if isinstance(value, (list, tuple)):
+        return {
+            "t": "list" if isinstance(value, list) else "tuple",
+            "items": [_encode(entry, arrays) for entry in value],
+        }
+    raise TypeError(f"cannot spill value of type {type(value).__name__}")
+
+
+def _decode(node: Dict[str, Any], data) -> Any:
+    """Inverse of :func:`_encode`; ``data`` is the opened ``.npz`` payload."""
+    from ..graph.digraph import DirectedGraph
+    from ..nn.tensor import Tensor
+
+    kind = node["t"]
+    if kind == "scalar":
+        return node["v"]
+    if kind == "tensor":
+        return Tensor(data[f"a{node['i']}"])
+    if kind == "array":
+        return data[f"a{node['i']}"].copy()
+    if kind == "sparse":
+        csr = sp.csr_matrix(
+            (data[f"a{node['data']}"], data[f"a{node['indices']}"], data[f"a{node['indptr']}"]),
+            shape=tuple(node["shape"]),
+        )
+        return csr.asformat(node["format"])
+    if kind == "graph":
+        masks = {
+            mask_name: data[f"a{node[mask_name]}"].astype(bool)
+            for mask_name in ("train_mask", "val_mask", "test_mask")
+            if node[mask_name] is not None
+        }
+        return DirectedGraph(
+            adjacency=_decode(node["adjacency"], data),
+            features=data[f"a{node['features']}"].copy(),
+            labels=data[f"a{node['labels']}"].copy(),
+            name=node["name"],
+            meta=json.loads(node["meta"]),
+            **masks,
+        )
+    if kind == "dict":
+        return {key: _decode(entry, data) for key, entry in node["items"]}
+    if kind == "list":
+        return [_decode(entry, data) for entry in node["items"]]
+    if kind == "tuple":
+        return tuple(_decode(entry, data) for entry in node["items"])
+    raise ValueError(f"unknown spill node type {kind!r}")
+
+
+def _spill_filename(key: str) -> str:
+    return hashlib.blake2b(key.encode(), digest_size=16).hexdigest() + ".npz"
+
+
+#: everything a corrupt or foreign .npz in a cache directory can raise.
+_WARM_ERRORS = (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile)
 
 
 class OperatorCache:
@@ -170,3 +310,75 @@ class OperatorCache:
 
     def stats(self) -> CacheStats:
         return self._cache.stats()
+
+    # ------------------------------------------------------------------ #
+    # On-disk persistence
+    # ------------------------------------------------------------------ #
+    def spill(self, directory: PathLike, overwrite: bool = False) -> int:
+        """Persist the cached preprocess entries under ``directory``.
+
+        Each entry becomes one ``.npz`` file named by a digest of its
+        ``model-signature × graph-fingerprint`` key (the key itself rides
+        inside the file).  Returns the number of entries written.  A key
+        whose file already exists is skipped unless ``overwrite`` is set —
+        the content is a deterministic function of the key, so re-encoding
+        it (e.g. on every warm benchmark run) would only burn CPU writing
+        identical bytes.  Two entry classes are skipped by design:
+        hand-constructed models carry a per-process ``#token`` signature
+        that is meaningless in another process, and values the codec cannot
+        represent (a preprocess result holding e.g. an open resource) are
+        left in memory only.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for key, value in self._cache.snapshot():
+            if "#" in str(key).split("/", 1)[0]:
+                continue
+            if not overwrite and (directory / _spill_filename(key)).exists():
+                continue
+            arrays: List[np.ndarray] = []
+            try:
+                structure = _encode(value, arrays)
+            except TypeError:
+                continue
+            payload = {f"a{index}": array for index, array in enumerate(arrays)}
+            payload[_SPILL_META] = np.array(
+                json.dumps(
+                    {
+                        "format_version": SPILL_FORMAT_VERSION,
+                        "key": key,
+                        "structure": structure,
+                    }
+                )
+            )
+            np.savez_compressed(directory / _spill_filename(key), **payload)
+            written += 1
+        return written
+
+    def warm(self, directory: PathLike) -> int:
+        """Reload spilled entries from ``directory`` into the cache.
+
+        Unreadable, foreign or version-mismatched files are skipped — a
+        stale cache directory must never take serving down.  The capacity
+        grows to hold everything loaded (it never shrinks), and returns
+        the number of entries restored.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return 0
+        loaded: List[Tuple[str, Any]] = []
+        for path in sorted(directory.glob("*.npz")):
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data[_SPILL_META]))
+                    if meta.get("format_version") != SPILL_FORMAT_VERSION:
+                        continue
+                    loaded.append((meta["key"], _decode(meta["structure"], data)))
+            except _WARM_ERRORS:
+                continue
+        if loaded:
+            self._cache.grow(len(self._cache) + len(loaded))
+            for key, value in loaded:
+                self._cache.put(key, value)
+        return len(loaded)

@@ -191,10 +191,23 @@ class ShardRouter:
     def add_artifact(self, directory: PathLike, *, name: Optional[str] = None) -> str:
         """Load a serving artifact and register it as a shard.
 
-        The preprocess performed during the restore seeds the shared
-        operator cache, so the shard's first request is already warm.
+        The restore runs its preprocess *through* the shared operator
+        cache: a hit — a previously-registered shard of the same
+        configuration, or an entry warmed from an on-disk spill directory
+        (:meth:`OperatorCache.warm`) — skips the precomputation entirely,
+        and a miss seeds the cache so the shard's first request is warm.
         """
-        model, cache, artifact, graph = restore_model(directory)
+        # Grown before the restore fills the cache: the fill would otherwise
+        # evict an entry another shard (or a warmed-from-disk artifact still
+        # to be loaded) needs.  Sized against both the shard count and the
+        # current entry count, because warm() may have preloaded more
+        # entries than there are registered shards.
+        self._operator_cache.grow(
+            max(len(self) + 1, len(self._operator_cache) + 1)
+        )
+        model, cache, artifact, graph = restore_model(
+            directory, operator_cache=self._operator_cache
+        )
         return self.add_shard(
             model, graph, name=name, artifact=artifact, preprocess_cache=cache
         )
@@ -212,6 +225,11 @@ class ShardRouter:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def operator_cache(self) -> OperatorCache:
+        """The preprocess cache shared by every shard (warm/spill target)."""
+        return self._operator_cache
+
     def shards(self) -> List[ShardInfo]:
         with self._lock:
             return list(self._shards.values())

@@ -1,27 +1,32 @@
-"""Repeated-trial experiment helpers.
+"""Repeated-trial experiment helpers (deprecated shims).
 
-The paper repeats every experiment 10 times and reports mean ± std.  The
-helpers here wrap :class:`repro.training.Trainer` with seed control, model
-construction from the registry, and result aggregation, so the benchmark
-scripts stay declarative: "run these models on these datasets".
+The paper repeats every experiment 10 times and reports mean ± std.  That
+protocol now lives in the typed :mod:`repro.api` surface —
+:meth:`repro.api.GraphHandle.fit_repeated` for one cell and
+:meth:`repro.api.Session.experiment` for a full sweep.  The free functions
+here (``run_single`` / ``run_repeated`` / ``run_model_suite``) are kept as
+:class:`DeprecationWarning` shims that delegate to the new executor and
+return the legacy :class:`ExperimentResult` shape.
+
+The rank/table helpers at the bottom are not deprecated; they also accept
+the typed :class:`repro.api.ExperimentReport` cells (same attributes).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..graph.digraph import DirectedGraph
-from ..metrics.classification import summarize_runs
-from ..models.registry import create_model, get_spec
 from .trainer import Trainer, TrainResult
 
 
 @dataclass
 class ExperimentResult:
-    """Aggregated accuracies of one (model, dataset) cell."""
+    """Aggregated accuracies of one (model, dataset) cell (legacy shape)."""
 
     model: str
     dataset: str
@@ -36,6 +41,8 @@ class ExperimentResult:
             "dataset": self.dataset,
             "test_mean": round(self.test_mean, 4),
             "test_std": round(self.test_std, 4),
+            "val_mean": round(self.val_mean, 4),
+            "test_accuracies": [round(run.test_accuracy, 4) for run in self.runs],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -45,6 +52,43 @@ class ExperimentResult:
         )
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.training.experiment.{name} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _repeated_impl(
+    model_name: str,
+    graph: DirectedGraph,
+    seeds: Sequence[int],
+    trainer: Optional[Trainer],
+    model_kwargs: Optional[Dict],
+) -> ExperimentResult:
+    """Non-warning delegation target shared by the shims and sparsity sweeps."""
+    # Imported lazily: repro.api sits above the training layer, so a
+    # module-level import here would be circular.
+    from ..api.experiment import execute_repeated
+
+    report, results = execute_repeated(
+        model_name,
+        graph,
+        seeds=seeds,
+        train=trainer if trainer is not None else Trainer(),
+        model_kwargs=model_kwargs,
+    )
+    return ExperimentResult(
+        model=report.model,
+        dataset=graph.name,
+        test_mean=report.test_mean,
+        test_std=report.test_std,
+        val_mean=report.val_mean,
+        runs=list(results),
+    )
+
+
 def run_single(
     model_name: str,
     graph: DirectedGraph,
@@ -52,12 +96,13 @@ def run_single(
     trainer: Optional[Trainer] = None,
     model_kwargs: Optional[Dict] = None,
 ) -> TrainResult:
-    """Train one model once on one graph."""
-    trainer = trainer if trainer is not None else Trainer()
-    model_kwargs = dict(model_kwargs or {})
-    model_kwargs.setdefault("seed", seed)
-    model = create_model(model_name, graph, **model_kwargs)
-    return trainer.fit(model, graph)
+    """Deprecated: use ``Session.from_graph(graph).fit(model_name, ...)``."""
+    _warn_deprecated("run_single", "repro.api GraphHandle.fit")
+    from ..api.experiment import execute_single
+
+    return execute_single(
+        model_name, graph, seed=seed, trainer=trainer, model_kwargs=model_kwargs
+    )
 
 
 def run_repeated(
@@ -67,21 +112,13 @@ def run_repeated(
     trainer: Optional[Trainer] = None,
     model_kwargs: Optional[Dict] = None,
 ) -> ExperimentResult:
-    """Train one model several times (different seeds) and aggregate."""
-    runs = [
-        run_single(model_name, graph, seed=seed, trainer=trainer, model_kwargs=model_kwargs)
-        for seed in seeds
-    ]
-    test_summary = summarize_runs(run.test_accuracy for run in runs)
-    val_summary = summarize_runs(run.val_accuracy for run in runs)
-    return ExperimentResult(
-        model=get_spec(model_name).name,
-        dataset=graph.name,
-        test_mean=test_summary["mean"],
-        test_std=test_summary["std"],
-        val_mean=val_summary["mean"],
-        runs=runs,
-    )
+    """Deprecated: use ``Session.from_graph(graph).fit_repeated(model_name)``.
+
+    Note the legacy default of three seeds; the new surface defaults to the
+    paper's ten-trial protocol (:data:`repro.api.DEFAULT_SEEDS`).
+    """
+    _warn_deprecated("run_repeated", "repro.api GraphHandle.fit_repeated")
+    return _repeated_impl(model_name, graph, seeds, trainer, model_kwargs)
 
 
 def run_model_suite(
@@ -91,17 +128,18 @@ def run_model_suite(
     trainer: Optional[Trainer] = None,
     model_kwargs: Optional[Dict[str, Dict]] = None,
 ) -> List[ExperimentResult]:
-    """Run a list of models on one dataset; per-model kwargs are optional."""
+    """Deprecated: use ``Session.experiment`` with a :class:`SweepSpec`."""
+    _warn_deprecated("run_model_suite", "repro.api Session.experiment")
     model_kwargs = model_kwargs or {}
     results = []
     for name in model_names:
         results.append(
-            run_repeated(
+            _repeated_impl(
                 name,
                 graph,
-                seeds=seeds,
-                trainer=trainer,
-                model_kwargs=model_kwargs.get(name, model_kwargs.get(name.lower())),
+                seeds,
+                trainer,
+                model_kwargs.get(name, model_kwargs.get(name.lower())),
             )
         )
     return results

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..graph.digraph import DirectedGraph
 from ..graph.transforms import sparsify_edges, sparsify_features, sparsify_labels
-from .experiment import ExperimentResult, run_repeated
+from .experiment import ExperimentResult, _repeated_impl
 from .trainer import Trainer
 
 SPARSITY_KINDS = ("feature", "edge", "label")
@@ -66,12 +66,12 @@ def sparsity_sweep(
     for level in levels:
         sparsified = apply_sparsity(graph, kind, level, seed=0)
         for name in model_names:
-            result = run_repeated(
+            result = _repeated_impl(
                 name,
                 sparsified,
-                seeds=seeds,
-                trainer=trainer,
-                model_kwargs=model_kwargs.get(name),
+                seeds,
+                trainer,
+                model_kwargs.get(name),
             )
             points.append(SparsityPoint(kind=kind, level=float(level), result=result))
     return points
