@@ -1,19 +1,25 @@
-"""Serving-layer benchmark: cold-load vs warm-cache inference latency.
+"""Serving-layer benchmark: cold, cache-miss, compiled and memoised latency.
 
 The decoupled complexity argument (paper Sec. IV-D) becomes a serving
-argument once :mod:`repro.serving` caches the preprocess output and the
-frozen-weight logits: a cold request pays artifact load + sparse
-precomputation + forward, while a warm request is a cache hit plus a
-fan-out slice.  This benchmark exports a trained ADPA on the largest
-synthetic dataset, then measures
+argument once :mod:`repro.serving` caches the preprocess output, the
+frozen-weight logits and — since the traced-kernel compiler — the whole
+forward as a grad-free numpy program.  This benchmark exports a trained
+ADPA on the largest synthetic dataset, then measures each serving path
+separately instead of conflating them:
 
 * **cold**: restore the artifact in-process and run preprocess + forward;
-* **warm**: a single request against the running server (logit cache hot);
+* **eager miss**: a single request with the logit cache off — every request
+  pays a full autograd forward (the true cache-miss latency);
+* **compiled miss**: the same cache-miss request answered by replaying the
+  traced program (``compile="trace"``), no Tensor or tape constructed;
+* **memoised**: a single request with the logit cache hot (the old "warm"
+  number — a dictionary hit plus a fan-out slice, not a forward);
 * **micro-batch**: per-request amortised latency when concurrent clients
   are coalesced into shared batches.
 
-Acceptance: warm-cache inference is at least 5x faster than the cold path,
-and the served predictions match the cold logits exactly.
+Acceptance: the compiled cache-miss forward is at least 5x faster than the
+warm eager cache-miss forward, memoised inference is at least 5x faster
+than cold, and every served path matches the cold logits bit-exactly.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from helpers import print_banner, write_bench_json
 
 MODEL = "ADPA"
 MODEL_KWARGS = {"hidden": 64, "num_steps": 3}
+MISS_ROUNDS = 10
 WARM_ROUNDS = 20
 BATCH_CLIENT_REQUESTS = 64
 
@@ -49,14 +56,34 @@ def smallest_dataset() -> str:
     return min(DATASET_CONFIGS, key=lambda name: DATASET_CONFIGS[name].num_nodes)
 
 
-def build_serving_profile(quick: bool = False) -> dict:
-    """Measure the serving profile; ``quick`` shrinks it to a CI smoke test."""
+def _time_single_requests(server: InferenceServer, node_ids, rounds: int) -> float:
+    """Mean seconds per single request against a running server."""
+    server.predict(node_ids=node_ids)  # untimed: settle caches / compile
+    start = time.perf_counter()
+    for _ in range(rounds):
+        server.predict(node_ids=node_ids)
+    return (time.perf_counter() - start) / rounds
+
+
+def build_serving_profile(
+    quick: bool = False,
+    compiled: bool = True,
+    trace_dir: str | None = None,
+) -> dict:
+    """Measure the serving profile; ``quick`` shrinks it to a CI smoke test.
+
+    ``compiled=False`` skips the traced-program measurement (the
+    ``--no-compile`` escape hatch); ``trace_dir`` spills the compiled
+    programs to disk afterwards so CI can archive them.
+    """
     dataset = smallest_dataset() if quick else largest_dataset()
+    miss_rounds = 3 if quick else MISS_ROUNDS
     warm_rounds = 5 if quick else WARM_ROUNDS
     batch_requests = 16 if quick else BATCH_CLIENT_REQUESTS
     graph = load_dataset(dataset, seed=0)
     model = create_model(MODEL, graph, seed=0, **MODEL_KWARGS)
     Trainer(epochs=3 if quick else 10, patience=10).fit(model, graph)
+    ids = np.arange(min(64, graph.num_nodes))
 
     with tempfile.TemporaryDirectory() as directory:
         save_model(model, directory, graph=graph)
@@ -68,14 +95,43 @@ def build_serving_profile(quick: bool = False) -> dict:
         cold_logits = cold_model.predict_logits(graph, cache)
         cold_seconds = time.perf_counter() - start
 
+        # Cache-miss single requests: logit cache off, no coalescing window,
+        # so every request pays one full forward.  The eager and compiled
+        # servers differ only in the compile mode.
+        miss_kwargs = dict(max_wait_ms=0.0, cache_logits=False)
+        eager_server, _ = InferenceServer.from_artifact(
+            directory, compile="eager", **miss_kwargs
+        )
+        with eager_server:
+            eager_miss_seconds = _time_single_requests(eager_server, ids, miss_rounds)
+
+        compiled_miss_seconds = None
+        trace_snapshot = None
+        if compiled:
+            compiled_server, _ = InferenceServer.from_artifact(
+                directory, compile="trace", **miss_kwargs
+            )
+            with compiled_server:
+                compiled_miss_seconds = _time_single_requests(
+                    compiled_server, ids, miss_rounds
+                )
+                compiled_full = compiled_server.submit()
+                compiled_full.result(timeout=120)
+                compiled_logits = compiled_full.logits
+            trace_snapshot = compiled_server.trace_cache.snapshot()
+            if trace_dir is not None:
+                compiled_server.trace_cache.spill(trace_dir)
+        else:
+            compiled_logits = cold_logits
+
+        # Memoised path + micro-batching on a default (logit-caching) server.
         server, _ = InferenceServer.from_artifact(directory, max_wait_ms=0.5)
         with server:
-            # Populate the logit cache, then time single warm requests.
             served = server.predict(node_ids=None)
             start = time.perf_counter()
             for _ in range(warm_rounds):
-                server.predict(node_ids=np.arange(min(64, graph.num_nodes)))
-            warm_seconds = (time.perf_counter() - start) / warm_rounds
+                server.predict(node_ids=ids)
+            memoised_seconds = (time.perf_counter() - start) / warm_rounds
 
             # Amortised per-request latency under micro-batched load.
             rng = np.random.default_rng(0)
@@ -95,28 +151,45 @@ def build_serving_profile(quick: bool = False) -> dict:
         "nodes": graph.num_nodes,
         "model": MODEL,
         "quick": quick,
+        "compiled": compiled,
         "cold_ms": 1e3 * cold_seconds,
-        "warm_ms": 1e3 * warm_seconds,
+        "eager_miss_ms": 1e3 * eager_miss_seconds,
+        "compiled_miss_ms": (
+            None if compiled_miss_seconds is None else 1e3 * compiled_miss_seconds
+        ),
+        "memoised_ms": 1e3 * memoised_seconds,
         "batched_ms": 1e3 * batched_seconds,
-        "warm_speedup": cold_seconds / warm_seconds,
+        "compile_speedup": (
+            None
+            if compiled_miss_seconds is None
+            else eager_miss_seconds / compiled_miss_seconds
+        ),
+        "memoised_speedup": cold_seconds / memoised_seconds,
         "batched_speedup": cold_seconds / batched_seconds,
+        "trace": trace_snapshot,
         "requests": stats.requests,
         "forwards": stats.forwards,
         "mean_batch_size": stats.mean_batch_size,
         "exact": bool(np.array_equal(served, cold_logits.argmax(axis=1))),
+        "compiled_exact": bool(np.array_equal(compiled_logits, cold_logits)),
     }
 
 
 def check_serving_profile(profile: dict) -> None:
-    # Served predictions must reproduce the cold in-process logits exactly.
+    # Served predictions must reproduce the cold in-process logits exactly —
+    # and the compiled replay must be bit-identical, not merely close.
     assert profile["exact"]
-    # The whole point of the cache: warm inference >= 5x faster than cold
-    # preprocess + forward (the ISSUE acceptance threshold).  Quick (CI
-    # smoke) runs use a tiny graph whose cold path is already sub-millisecond
-    # — wall-clock ratios there are scheduler noise, so quick mode checks
+    assert profile["compiled_exact"]
+    # Wall-clock ratios on the quick (CI smoke) graph are scheduler noise —
+    # its eager forward is already sub-millisecond — so quick mode checks
     # correctness and coalescing only.
     if not profile.get("quick"):
-        assert profile["warm_speedup"] >= 5.0, profile
+        # The tentpole acceptance: compiled cache-miss forward >= 5x faster
+        # than the warm eager path.
+        if profile["compiled"]:
+            assert profile["compile_speedup"] >= 5.0, profile
+        # The logit cache's original claim: memoised >= 5x faster than cold.
+        assert profile["memoised_speedup"] >= 5.0, profile
         assert profile["batched_speedup"] >= 5.0, profile
     # Micro-batching actually coalesced: far fewer forwards than requests.
     assert profile["forwards"] < profile["requests"]
@@ -124,18 +197,31 @@ def check_serving_profile(profile: dict) -> None:
 
 def format_serving_table(profile: dict) -> str:
     rows = [
-        ("cold load + preprocess + forward", profile["cold_ms"]),
-        ("warm single request", profile["warm_ms"]),
-        ("micro-batched per request", profile["batched_ms"]),
+        ("cold load + preprocess + forward", profile["cold_ms"], profile["cold_ms"]),
+        # Cache-miss requests compare against the eager miss, not cold: the
+        # interesting ratio is forward vs replayed forward.
+        ("eager cache-miss request", profile["eager_miss_ms"], profile["eager_miss_ms"]),
+        ("compiled cache-miss request", profile["compiled_miss_ms"], profile["eager_miss_ms"]),
+        ("memoised single request", profile["memoised_ms"], profile["cold_ms"]),
+        ("micro-batched per request", profile["batched_ms"], profile["cold_ms"]),
     ]
     lines = [f"{'path':<34s}{'latency ms':>12s}{'speedup':>10s}"]
-    for label, value in rows:
-        speedup = profile["cold_ms"] / value if value else float("inf")
+    for label, value, baseline in rows:
+        if value is None:
+            lines.append(f"{label:<34s}{'skipped':>12s}{'-':>10s}")
+            continue
+        speedup = baseline / value if value else float("inf")
         lines.append(f"{label:<34s}{value:>12.3f}{speedup:>9.1f}x")
     lines.append(
         f"{profile['requests']} requests -> {profile['forwards']} forwards "
         f"(mean batch {profile['mean_batch_size']:.1f})"
     )
+    if profile.get("trace"):
+        trace = profile["trace"]
+        lines.append(
+            f"trace cache: {trace['compiles']} compile(s), {trace['hits']} hits, "
+            f"{trace['fallbacks']} fallbacks"
+        )
     return "\n".join(lines)
 
 
@@ -143,8 +229,8 @@ def format_serving_table(profile: dict) -> str:
 def test_serving_cold_vs_warm(benchmark):
     profile = benchmark.pedantic(build_serving_profile, rounds=1, iterations=1)
     print_banner(
-        f"Serving — cold vs warm-cache inference ({profile['dataset']} stand-in, "
-        f"{profile['nodes']} nodes)"
+        f"Serving — cold vs cache-miss vs memoised inference ({profile['dataset']} "
+        f"stand-in, {profile['nodes']} nodes)"
     )
     print(format_serving_table(profile))
     path = write_bench_json("serving", profile)
@@ -153,13 +239,23 @@ def test_serving_cold_vs_warm(benchmark):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description="serving cold-vs-warm benchmark")
+    parser = argparse.ArgumentParser(description="serving latency benchmark")
     parser.add_argument(
         "--quick", action="store_true",
         help="CI smoke mode: smallest dataset, fewer rounds, no JSON emission",
     )
+    parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=True,
+        help="measure the traced-program cache-miss path (--no-compile skips it)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="spill the compiled trace cache to this directory after the run",
+    )
     cli_args = parser.parse_args()
-    result = build_serving_profile(quick=cli_args.quick)
+    result = build_serving_profile(
+        quick=cli_args.quick, compiled=cli_args.compile, trace_dir=cli_args.trace_dir
+    )
     print(format_serving_table(result))
     if not cli_args.quick:
         # Quick numbers are not representative; keep the committed JSON

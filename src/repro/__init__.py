@@ -13,8 +13,9 @@ Public API highlights
   with typed handles and frozen configs (load → amud → fit → serve).
 * :mod:`repro.serving` — artifacts, caches, inference engine, shard router.
 
-:class:`repro.AmudPipeline` is the deprecated predecessor of the Session
-facade and is kept as a warning shim.
+The deprecated ``AmudPipeline`` predecessor has been removed; importing
+``repro.pipeline`` (or ``repro.AmudPipeline``) raises with a pointer to
+:class:`repro.api.Session`, which reads its old artifacts unchanged.
 """
 
 from . import adpa, amud, analysis, api, datasets, graph, metrics, models, nn, training
@@ -23,8 +24,18 @@ from .amud import AmudDecision, amud_decide, amud_score, apply_amud
 from .api import AmudConfig, GraphHandle, ModelHandle, ServeConfig, Session, TrainConfig
 from .datasets import load_dataset
 from .graph import DirectedGraph
-from .pipeline import AmudPipeline, PipelineResult
 from .training import Trainer
+
+
+def __getattr__(name: str):
+    if name in ("AmudPipeline", "PipelineResult"):
+        # A loud, import-time pointer for call sites that predate the
+        # repro.api facade; repro.pipeline raises the full message.
+        raise ImportError(
+            f"repro.{name} has been removed; use repro.api.Session instead "
+            "(Session().load(name).amud().fit() / handle.save / Session().restore)"
+        )
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __version__ = "1.1.0"
 
@@ -53,7 +64,5 @@ __all__ = [
     "TrainConfig",
     "AmudConfig",
     "ServeConfig",
-    "AmudPipeline",
-    "PipelineResult",
     "__version__",
 ]

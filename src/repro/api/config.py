@@ -157,8 +157,19 @@ class ServeConfig:
     max_pending: Optional[int] = None
     #: cap on in-flight requests across all shards of one router.
     router_max_pending: int = 256
+    #: compiled-trace policy for cache-miss forwards (see
+    #: :mod:`repro.serving.trace`): ``"auto"`` compiles with remembered
+    #: eager fallback on failure, ``"trace"`` retries every miss,
+    #: ``"eager"`` disables compilation entirely.
+    compile: str = "auto"
 
     def __post_init__(self) -> None:
+        from ..serving.trace import COMPILE_MODES
+
+        if self.compile not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {self.compile!r}; expected one of {COMPILE_MODES}"
+            )
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.max_wait_ms < 0:
@@ -180,6 +191,7 @@ class ServeConfig:
             "cache_logits": self.cache_logits,
             "logit_cache_capacity": self.logit_cache_capacity,
             "max_pending": self.max_pending,
+            "compile": self.compile,
         }
 
     def router_kwargs(self) -> Dict[str, object]:
@@ -191,6 +203,7 @@ class ServeConfig:
             "cache_logits": self.cache_logits,
             "logit_cache_capacity": self.logit_cache_capacity,
             "engine_max_pending": self.max_pending,
+            "compile": self.compile,
         }
 
     def replace(self, **changes) -> "ServeConfig":

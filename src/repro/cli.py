@@ -42,6 +42,7 @@ import sys
 import threading
 import time
 import zipfile
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -137,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument(
         "--json", action="store_true", help="emit predictions as JSON instead of a summary"
     )
+    predict_parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=False,
+        help="replay a traced grad-free program instead of the eager forward "
+             "(--compile traces + validates, --no-compile stays eager)",
+    )
 
     bench_parser = subparsers.add_parser(
         "serve-bench",
@@ -159,7 +165,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="operator-cache spill directory: warmed before the artifacts "
              "load, re-spilled after the benchmark (cold starts become warm "
-             "across processes)",
+             "across processes); compiled traces spill beside it under "
+             "<cache-dir>/traces",
+    )
+    bench_parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=None,
+        help="forward compilation on cache-miss traffic: --compile forces "
+             "traced replay, --no-compile forces eager; default is 'auto' "
+             "(trace with eager fallback)",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -290,7 +303,12 @@ def _command_predict(args: argparse.Namespace) -> int:
     if handle is None:
         return code
     graph = handle.graph
-    predictions = handle.predict()
+    if args.compile:
+        # Trace one forward into a grad-free program; compile_forward
+        # validates the replay bit-identical against eager before returning.
+        predictions = np.argmax(handle.compile().run(), axis=1)
+    else:
+        predictions = handle.predict()
     node_ids = (
         np.arange(graph.num_nodes)
         if args.nodes is None
@@ -301,12 +319,14 @@ def _command_predict(args: argparse.Namespace) -> int:
         print(json.dumps({
             "model": handle.model_name,
             "graph": graph.name,
+            "compiled": bool(args.compile),
             "nodes": node_ids.tolist(),
             "predictions": predictions[node_ids].tolist(),
         }))
         return 0
 
-    print(f"model: {handle.model_name}  graph: {graph.name}  nodes={graph.num_nodes}")
+    mode = "compiled (traced replay)" if args.compile else "eager"
+    print(f"model: {handle.model_name}  graph: {graph.name}  nodes={graph.num_nodes}  [{mode}]")
     if graph.test_mask is not None:
         print(f"test accuracy: {accuracy(predictions, graph.labels, graph.test_mask):.4f}")
     shown = node_ids[:10]
@@ -317,11 +337,13 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_serve_bench(args: argparse.Namespace) -> int:
+    compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
     session = Session(
         serve=ServeConfig(
             max_batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms,
             router_max_pending=args.max_pending,
+            compile=compile_mode,
         )
     )
     try:
@@ -397,9 +419,22 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         f"logit cache: {logit_stats['hits']} hits / {logit_stats['misses']} misses "
         f"(weights-versioned keys)"
     )
+    if stats.trace is not None:
+        trace_stats = stats.trace.as_dict()
+        print(
+            f"trace cache [{compile_mode}]: {trace_stats['compiles']} compiles, "
+            f"{trace_stats['hits']} hits / {trace_stats['misses']} misses, "
+            f"{trace_stats['fallbacks']} eager fallbacks"
+        )
+    else:
+        print("trace cache: disabled (eager)")
     if args.cache_dir:
         spilled = router.operator_cache.spill(args.cache_dir)
         print(f"spilled {spilled} preprocess entr{'y' if spilled == 1 else 'ies'} to {args.cache_dir}")
+        if router.trace_cache is not None:
+            trace_dir = Path(args.cache_dir) / "traces"
+            spilled_traces = router.trace_cache.spill(trace_dir)
+            print(f"spilled {spilled_traces} compiled trace(s) to {trace_dir}")
     return 0
 
 

@@ -21,12 +21,45 @@ back to the original shapes with :func:`_unbroadcast`.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+# ---------------------------------------------------------------------- #
+# Trace recording hook
+# ---------------------------------------------------------------------- #
+# Every operation that produces a Tensor carries op metadata (a stable op
+# name plus the non-tensor attributes needed to recompute it).  A recorder
+# installed via :func:`set_active_tracer` observes each construction, which
+# is how :mod:`repro.serving.trace` turns one eager forward pass into a
+# flat, grad-free numpy program that replays without building Tensors or a
+# backward tape.  The hook is thread-local so a server worker tracing a
+# forward never observes tensors created by concurrent training threads.
+_trace_state = threading.local()
+
+
+def set_active_tracer(tracer) -> None:
+    """Install ``tracer`` (or ``None``) for the calling thread.
+
+    ``tracer`` is duck-typed: it needs a ``record(out, op, parents, attrs)``
+    method, called for every Tensor an operation creates on this thread.
+    """
+    _trace_state.tracer = tracer
+
+
+def active_tracer():
+    return getattr(_trace_state, "tracer", None)
+
+
+def _record_trace(out: "Tensor", op: Optional[str], parents: Sequence["Tensor"], attrs) -> None:
+    tracer = getattr(_trace_state, "tracer", None)
+    if tracer is not None:
+        tracer.record(out, op, parents, attrs or {})
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -137,11 +170,16 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        op: Optional[str] = None,
+        attrs: Optional[dict] = None,
     ) -> "Tensor":
         requires_grad = any(p.requires_grad for p in parents)
         if not requires_grad:
-            return Tensor(data, requires_grad=False)
-        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+            out = Tensor(data, requires_grad=False)
+        else:
+            out = Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+        _record_trace(out, op, parents, attrs)
+        return out
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
@@ -156,7 +194,7 @@ class Tensor:
                 _unbroadcast(grad, other.shape),
             )
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -164,7 +202,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (-grad,)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self + (-self._ensure(other))
@@ -182,7 +220,7 @@ class Tensor:
                 _unbroadcast(grad * self.data, other.shape),
             )
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -196,7 +234,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
             )
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self._ensure(other) / self
@@ -207,7 +245,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * exponent * self.data ** (exponent - 1),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="pow", attrs={"exponent": exponent})
 
     # ------------------------------------------------------------------ #
     # Linear algebra
@@ -221,7 +259,7 @@ class Tensor:
             grad_other = self.data.T @ grad if other.requires_grad else None
             return (grad_self, grad_other)
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, op="matmul")
 
     __matmul__ = matmul
 
@@ -229,7 +267,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad.T,)
 
-        return self._make(self.data.T, (self,), backward)
+        return self._make(self.data.T, (self,), backward, op="transpose")
 
     def reshape(self, *shape: int) -> "Tensor":
         original_shape = self.shape
@@ -237,7 +275,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad.reshape(original_shape),)
 
-        return self._make(self.data.reshape(*shape), (self,), backward)
+        return self._make(
+            self.data.reshape(*shape), (self,), backward,
+            op="reshape", attrs={"shape": tuple(shape)},
+        )
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -247,7 +288,7 @@ class Tensor:
             np.add.at(full, index, grad)
             return (full,)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="getitem", attrs={"index": index})
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -262,7 +303,10 @@ class Tensor:
             expanded = grad if keepdims else np.expand_dims(grad, axis)
             return (np.broadcast_to(expanded, self.shape).copy(),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(
+            out_data, (self,), backward,
+            op="sum", attrs={"axis": axis, "keepdims": keepdims},
+        )
 
     def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         count = self.size if axis is None else self.shape[axis]
@@ -283,7 +327,10 @@ class Tensor:
             mask /= mask.sum(axis=axis, keepdims=True)
             return (mask * expanded_grad,)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(
+            out_data, (self,), backward,
+            op="max", attrs={"axis": axis, "keepdims": keepdims},
+        )
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities
@@ -294,13 +341,13 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * out_data,)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray):
             return (grad / self.data,)
 
-        return self._make(np.log(self.data), (self,), backward)
+        return self._make(np.log(self.data), (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
@@ -309,7 +356,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * np.sign(self.data),)
 
-        return self._make(np.abs(self.data), (self,), backward)
+        return self._make(np.abs(self.data), (self,), backward, op="abs")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -317,7 +364,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * mask,)
 
-        return self._make(self.data * mask, (self,), backward)
+        return self._make(self.data * mask, (self,), backward, op="relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         positive = self.data > 0
@@ -326,7 +373,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * scale,)
 
-        return self._make(self.data * scale, (self,), backward)
+        return self._make(
+            self.data * scale, (self,), backward,
+            op="leaky_relu", attrs={"negative_slope": negative_slope},
+        )
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -334,7 +384,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * out_data * (1.0 - out_data),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="sigmoid")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -342,7 +392,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * (1.0 - out_data ** 2),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="tanh")
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
         positive = self.data > 0
@@ -353,7 +403,7 @@ class Tensor:
             local = np.where(positive, 1.0, exp_part + alpha)
             return (grad * local,)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="elu", attrs={"alpha": alpha})
 
     # ------------------------------------------------------------------ #
     # Softmax family (implemented here so they stay numerically stable)
@@ -367,7 +417,7 @@ class Tensor:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             return (out_data * (grad - dot),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="softmax", attrs={"axis": axis})
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
@@ -378,7 +428,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, op="log_softmax", attrs={"axis": axis})
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -445,8 +495,11 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
 
     requires_grad = any(t.requires_grad for t in tensors)
     if not requires_grad:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+        out = Tensor(out_data)
+    else:
+        out = Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+    _record_trace(out, "concatenate", tensors, {"axis": axis})
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -460,8 +513,11 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
     requires_grad = any(t.requires_grad for t in tensors)
     if not requires_grad:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+        out = Tensor(out_data)
+    else:
+        out = Tensor(out_data, requires_grad=True, parents=tensors, backward_fn=backward)
+    _record_trace(out, "stack", tensors, {"axis": axis})
+    return out
 
 
 def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
@@ -480,8 +536,11 @@ def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
         return (matrix.T @ grad,)
 
     if not tensor.requires_grad:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward)
+        out = Tensor(out_data)
+    else:
+        out = Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward)
+    _record_trace(out, "sparse_matmul", (tensor,), {"matrix": matrix})
+    return out
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -499,8 +558,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
     requires_grad = a.requires_grad or b.requires_grad
     if not requires_grad:
-        return Tensor(out_data)
-    return Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward)
+        out = Tensor(out_data)
+    else:
+        out = Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward)
+    _record_trace(out, "where", (a, b), {"condition": condition})
+    return out
 
 
 def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:

@@ -1,239 +1,24 @@
-"""Deprecated end-to-end pipeline — superseded by :mod:`repro.api`.
+"""Retired: ``AmudPipeline`` has been removed — use :mod:`repro.api`.
 
-:class:`AmudPipeline` was the original facade over the paper's Fig. 1
-workflow (AMUD guidance → paradigm choice → training).  It is now a thin
-shim over :class:`repro.api.Session` / :class:`repro.api.GraphHandle`:
-construction emits a :class:`DeprecationWarning`, ``fit`` delegates to the
-typed handles, and results are repackaged into the legacy
-:class:`PipelineResult` so existing call sites keep working bit-exactly.
-
-New code should write::
+The original end-to-end facade was deprecated in favour of
+:class:`repro.api.Session` (PR 3) and served one release as a warning
+shim; the shim is now gone.  Importing this module raises immediately with
+a pointer to the replacement, so stale call sites fail loudly at import
+time instead of drifting on emulated behaviour::
 
     from repro.api import Session
 
-    model = Session().load("chameleon").amud().fit()
-    model.save("runs/chameleon")
+    model = Session().load("chameleon").amud().fit()   # was: AmudPipeline().fit(...)
+    model.save("runs/chameleon")                       # was: pipeline.save(...)
+    restored = Session().restore("runs/chameleon")     # was: AmudPipeline.load(...)
+
+Artifacts written by the old ``AmudPipeline.save`` remain loadable —
+:meth:`repro.api.Session.restore` reads them unchanged.
 """
 
-from __future__ import annotations
-
-import warnings
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Optional, Union
-
-from .amud.guidance import AmudDecision
-from .graph.digraph import DirectedGraph
-from .models.base import NodeClassifier
-from .models.registry import get_spec
-from .training.trainer import Trainer, TrainResult
-
-_DEPRECATION_MESSAGE = (
-    "AmudPipeline is deprecated; use repro.api.Session — e.g. "
-    "Session().load(name).amud().fit() — which exposes the same workflow "
-    "through typed handles and frozen configs"
+raise ImportError(
+    "repro.pipeline.AmudPipeline has been removed; use repro.api.Session "
+    "instead — e.g. Session().load(name).amud().fit() to train, "
+    "handle.save(dir) to export, and Session().restore(dir) to reload "
+    "(old AmudPipeline artifacts restore unchanged)"
 )
-
-
-@dataclass
-class PipelineResult:
-    """Everything produced by one pipeline run."""
-
-    decision: AmudDecision
-    model_name: str
-    train_result: TrainResult
-    modeled_graph: DirectedGraph
-
-    @property
-    def test_accuracy(self) -> float:
-        return self.train_result.test_accuracy
-
-
-class AmudPipeline:
-    """Deprecated: the Fig. 1 workflow, now a shim over :mod:`repro.api`.
-
-    Parameters
-    ----------
-    undirected_model / directed_model:
-        Registry names of the models used for the two paradigms.
-    threshold:
-        AMUD decision threshold θ.
-    trainer:
-        Training configuration shared by both branches.
-    model_kwargs:
-        Optional per-branch constructor kwargs, keyed ``"undirected"`` /
-        ``"directed"``.
-    """
-
-    def __init__(
-        self,
-        undirected_model: str = "GPRGNN",
-        directed_model: str = "ADPA",
-        threshold: float = 0.5,
-        trainer: Optional[Trainer] = None,
-        model_kwargs: Optional[Dict[str, Dict]] = None,
-        seed: int = 0,
-    ) -> None:
-        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
-        # Validate the model names eagerly so configuration errors surface
-        # at construction time rather than deep inside fit().
-        get_spec(undirected_model)
-        get_spec(directed_model)
-        self.undirected_model = undirected_model
-        self.directed_model = directed_model
-        self.threshold = threshold
-        self.trainer = trainer if trainer is not None else Trainer()
-        self.model_kwargs = model_kwargs or {}
-        self.seed = seed
-        self._model: Optional[NodeClassifier] = None
-        self._result: Optional[PipelineResult] = None
-
-    def _amud_config(self):
-        from .api.config import AmudConfig
-
-        return AmudConfig(
-            threshold=self.threshold,
-            undirected_model=self.undirected_model,
-            directed_model=self.directed_model,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Fitting
-    # ------------------------------------------------------------------ #
-    def fit(self, graph: DirectedGraph) -> PipelineResult:
-        """Run AMUD, pick the paradigm, train the corresponding model."""
-        from .api.session import Session
-
-        session = Session(seed=self.seed, amud=self._amud_config())
-        guided = session.from_graph(graph).amud()
-        branch = "directed" if guided.decision.keep_directed else "undirected"
-        branch_kwargs = dict(self.model_kwargs.get(branch, {}))
-        handle = guided.fit(train=self.trainer, **branch_kwargs)
-        self._model = handle.model
-        self._result = PipelineResult(
-            decision=handle.decision,
-            model_name=handle.model_name,
-            train_result=handle.train_result,
-            modeled_graph=handle.graph,
-        )
-        return self._result
-
-    # ------------------------------------------------------------------ #
-    # Inference
-    # ------------------------------------------------------------------ #
-    @property
-    def is_fitted(self) -> bool:
-        return self._result is not None
-
-    @property
-    def result(self) -> PipelineResult:
-        if self._result is None:
-            raise RuntimeError("pipeline has not been fitted yet")
-        return self._result
-
-    def predict(self, graph: Optional[DirectedGraph] = None):
-        """Predict node classes; defaults to the graph used during fit."""
-        if self._model is None or self._result is None:
-            raise RuntimeError("pipeline has not been fitted yet")
-        target = graph if graph is not None else self._result.modeled_graph
-        return self._model.predict(target)
-
-    # ------------------------------------------------------------------ #
-    # Persistence (serving artifacts)
-    # ------------------------------------------------------------------ #
-    def save(self, directory: Union[str, Path]) -> Path:
-        """Export the fitted pipeline as a self-contained serving artifact.
-
-        The directory holds the trained model's weights, the AMUD decision
-        and pipeline configuration (as artifact metadata) and the modeled
-        graph, so :meth:`load` in a fresh process reproduces in-memory
-        predictions exactly.
-        """
-        from .api.session import decision_to_dict, train_result_to_dict
-        from .serving.artifacts import save_model
-
-        if self._model is None or self._result is None:
-            raise RuntimeError("pipeline has not been fitted yet")
-        result = self._result
-        metadata = {
-            "kind": "amud-pipeline",
-            "pipeline": {
-                "undirected_model": self.undirected_model,
-                "directed_model": self.directed_model,
-                "threshold": self.threshold,
-                "seed": self.seed,
-                "model_kwargs": self.model_kwargs,
-                "trainer": {
-                    "lr": self.trainer.lr,
-                    "weight_decay": self.trainer.weight_decay,
-                    "epochs": self.trainer.epochs,
-                    "patience": self.trainer.patience,
-                    "optimizer": self.trainer.optimizer_name,
-                },
-            },
-            "model_name": result.model_name,
-            "decision": decision_to_dict(result.decision),
-            "train_result": train_result_to_dict(result.train_result),
-        }
-        return save_model(
-            self._model,
-            directory,
-            metadata=metadata,
-            graph=result.modeled_graph,
-        )
-
-    @classmethod
-    def load(cls, directory: Union[str, Path]) -> "AmudPipeline":
-        """Restore a pipeline saved with :meth:`save`, ready to predict.
-
-        Also accepts AMUD-guided artifacts written through :mod:`repro.api`
-        (``ModelHandle.save`` / ``repro export``): those carry the decision
-        and training summary but no pipeline config block, so the restored
-        shim gets default hyper-parameters with the trained model slotted
-        into the decided paradigm's branch.
-        """
-        from .api.session import ARTIFACT_KIND, decision_from_dict, train_result_from_dict
-        from .serving.artifacts import load_artifact, load_artifact_graph
-
-        artifact = load_artifact(directory)
-        metadata = artifact.metadata
-        kind = metadata.get("kind")
-        if kind == "amud-pipeline":
-            config = metadata["pipeline"]
-        elif kind == ARTIFACT_KIND and "decision" in metadata:
-            config = None
-        else:
-            raise ValueError(
-                f"artifact at {directory} is not a pipeline or AMUD-guided "
-                f"export (kind={kind!r}); use repro.api.Session.restore"
-            )
-        graph = load_artifact_graph(directory)
-        if graph is None:
-            raise FileNotFoundError(f"pipeline artifact {directory} ships no graph.npz")
-
-        decision = decision_from_dict(metadata["decision"])
-        if config is not None:
-            trainer_config = config.get("trainer")
-            pipeline = cls(
-                undirected_model=config["undirected_model"],
-                directed_model=config["directed_model"],
-                threshold=config["threshold"],
-                seed=config["seed"],
-                trainer=Trainer(**trainer_config) if trainer_config else None,
-                model_kwargs={
-                    branch: dict(kwargs)
-                    for branch, kwargs in config.get("model_kwargs", {}).items()
-                },
-            )
-        else:
-            branch = "directed_model" if decision.keep_directed else "undirected_model"
-            pipeline = cls(threshold=decision.threshold, **{branch: artifact.model_name})
-        model, _ = artifact.restore(graph)
-        pipeline._model = model
-        pipeline._result = PipelineResult(
-            decision=decision,
-            model_name=metadata.get("model_name", artifact.model_name),
-            train_result=train_result_from_dict(metadata["train_result"]),
-            modeled_graph=graph,
-        )
-        return pipeline

@@ -1,11 +1,16 @@
 """Serving layer: artifacts, operator caching and micro-batched inference.
 
-Takes any trained registry model or :class:`repro.pipeline.AmudPipeline`
-from "trained in memory" to "served under concurrent load":
+Takes any trained registry model or :class:`repro.api.ModelHandle` from
+"trained in memory" to "served under concurrent load":
 
 * :mod:`repro.serving.artifacts` — versioned save/load of weights + config;
 * :mod:`repro.serving.fingerprint` — content hashes of graphs and models;
 * :mod:`repro.serving.cache` — bounded LRU reuse of ``preprocess()`` output;
+* :mod:`repro.serving.trace` — traced grad-free inference kernels: one
+  eager forward compiled into a flat numpy program, replayed on cache-miss
+  traffic (the ``compile`` mode of the engine and router);
+* :mod:`repro.serving.stats` — the shared ``as_dict()``/``snapshot()``
+  stats protocol every component speaks;
 * :mod:`repro.serving.engine` — the micro-batching :class:`InferenceServer`;
 * :mod:`repro.serving.router` — the multi-artifact :class:`ShardRouter`
   front door with sync ``submit`` and asyncio ``asubmit``.
@@ -34,6 +39,16 @@ from .fingerprint import (
     state_fingerprint,
 )
 from .router import RouterStats, ShardInfo, ShardRouter, UnknownShard
+from .stats import Stats, StatsSource
+from .trace import (
+    COMPILE_MODES,
+    FOLD_MODES,
+    TraceCache,
+    TraceCacheStats,
+    TracedProgram,
+    TraceError,
+    compile_forward,
+)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -53,6 +68,15 @@ __all__ = [
     "ShardInfo",
     "RouterStats",
     "UnknownShard",
+    "Stats",
+    "StatsSource",
+    "COMPILE_MODES",
+    "FOLD_MODES",
+    "TraceCache",
+    "TraceCacheStats",
+    "TracedProgram",
+    "TraceError",
+    "compile_forward",
     "array_digest",
     "graph_fingerprint",
     "model_fingerprint",

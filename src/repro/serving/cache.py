@@ -32,6 +32,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .fingerprint import preprocess_key
+from .stats import Stats, StatsSource
 
 PathLike = Union[str, Path]
 
@@ -46,8 +47,10 @@ _SPILL_META = "__spill__"
 
 
 @dataclass
-class CacheStats:
+class CacheStats(Stats):
     """Counters snapshot; hits/misses count lookups, not stores."""
+
+    derived = ("hit_rate",)
 
     hits: int = 0
     misses: int = 0
@@ -60,18 +63,8 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": self.size,
-            "capacity": self.capacity,
-            "hit_rate": round(self.hit_rate, 4),
-        }
 
-
-class LRUCache:
+class LRUCache(StatsSource):
     """A bounded least-recently-used mapping with instrumentation.
 
     ``get_or_compute`` holds the lock across the factory call, so concurrent
@@ -134,7 +127,7 @@ class LRUCache:
             if capacity > self.capacity:
                 self.capacity = capacity
 
-    def snapshot(self) -> List[Tuple[Any, Any]]:
+    def entries(self) -> List[Tuple[Any, Any]]:
         """The (key, value) pairs, oldest first, without touching counters."""
         with self._lock:
             return list(self._entries.items())
@@ -177,6 +170,11 @@ def _encode(value: Any, arrays: List[np.ndarray]) -> Dict[str, Any]:
         value = value.item()
     if value is None or isinstance(value, (bool, int, float, str)):
         return {"t": "scalar", "v": value}
+    if isinstance(value, slice):
+        bounds = [value.start, value.stop, value.step]
+        if not all(b is None or isinstance(b, int) for b in bounds):
+            raise TypeError("cannot spill a slice with non-integer bounds")
+        return {"t": "slice", "v": bounds}
     if isinstance(value, Tensor):
         return {"t": "tensor", "i": slot(value.data)}
     if isinstance(value, np.ndarray):
@@ -227,6 +225,8 @@ def _decode(node: Dict[str, Any], data) -> Any:
     kind = node["t"]
     if kind == "scalar":
         return node["v"]
+    if kind == "slice":
+        return slice(*node["v"])
     if kind == "tensor":
         return Tensor(data[f"a{node['i']}"])
     if kind == "array":
@@ -268,7 +268,7 @@ def _spill_filename(key: str) -> str:
 _WARM_ERRORS = (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile)
 
 
-class OperatorCache:
+class OperatorCache(StatsSource):
     """LRU cache of ``model.preprocess(graph)`` results.
 
     The key combines the model signature (registry name, constructor kwargs,
@@ -332,7 +332,7 @@ class OperatorCache:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = 0
-        for key, value in self._cache.snapshot():
+        for key, value in self._cache.entries():
             if "#" in str(key).split("/", 1)[0]:
                 continue
             if not overwrite and (directory / _spill_filename(key)).exists():
@@ -374,6 +374,8 @@ class OperatorCache:
                     meta = json.loads(str(data[_SPILL_META]))
                     if meta.get("format_version") != SPILL_FORMAT_VERSION:
                         continue
+                    if meta.get("kind") not in (None, "operator"):
+                        continue  # e.g. a trace spill sharing the directory
                     loaded.append((meta["key"], _decode(meta["structure"], data)))
             except _WARM_ERRORS:
                 continue

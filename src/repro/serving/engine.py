@@ -36,6 +36,8 @@ from ..models.base import NodeClassifier
 from .artifacts import ModelArtifact, restore_model
 from .cache import CacheStats, LRUCache, OperatorCache
 from .fingerprint import state_fingerprint
+from .stats import Stats, StatsSource
+from .trace import COMPILE_MODES, TraceCache, TraceCacheStats
 
 #: queue sentinel telling the worker thread to exit.
 _STOP = object()
@@ -131,8 +133,8 @@ class InferenceTicket:
 
 
 @dataclass
-class ServerStats:
-    """Point-in-time serving counters."""
+class ServerStats(Stats):
+    """Point-in-time serving counters (see :class:`repro.serving.stats.Stats`)."""
 
     requests: int
     batches: int
@@ -144,23 +146,11 @@ class ServerStats:
     requests_per_second: float
     cache: CacheStats
     logit_cache: CacheStats
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "requests": self.requests,
-            "batches": self.batches,
-            "forwards": self.forwards,
-            "mean_batch_size": round(self.mean_batch_size, 2),
-            "mean_latency_ms": round(self.mean_latency_ms, 3),
-            "max_latency_ms": round(self.max_latency_ms, 3),
-            "uptime_seconds": round(self.uptime_seconds, 3),
-            "requests_per_second": round(self.requests_per_second, 1),
-            "cache": self.cache.as_dict(),
-            "logit_cache": self.logit_cache.as_dict(),
-        }
+    #: shared-trace-cache counters; ``None`` on an eager-only server.
+    trace: Optional[TraceCacheStats] = None
 
 
-class InferenceServer:
+class InferenceServer(StatsSource):
     """Serve node predictions from a trained model under concurrent load.
 
     The model is owned by the single worker thread (the autograd modules are
@@ -180,6 +170,8 @@ class InferenceServer:
         logit_cache_capacity: int = 8,
         logit_cache: Optional[LRUCache] = None,
         max_pending: Optional[int] = None,
+        compile: str = "auto",
+        trace_cache: Optional[TraceCache] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -187,6 +179,10 @@ class InferenceServer:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be >= 1 (or None), got {max_pending}")
+        if compile not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {compile!r}; expected one of {COMPILE_MODES}"
+            )
         self.model = model.eval()
         self.graph = graph
         self.cache = operator_cache if operator_cache is not None else OperatorCache()
@@ -207,6 +203,16 @@ class InferenceServer:
         # clear_logit_cache(), so the hot batch loop never rehashes them.
         self._weights_version: Optional[str] = None
         self._logit_key_prefix: Optional[Tuple[str, str]] = None
+        # Compiled-trace serving: cache-miss forwards replay a flat,
+        # grad-free numpy program instead of the autograd graph (see
+        # :mod:`repro.serving.trace`).  "auto" remembers keys that failed
+        # to trace and stops retrying them; "trace" retries every miss;
+        # "eager" never compiles and allocates no trace cache.
+        self.compile_mode = compile
+        if trace_cache is None and compile != "eager":
+            trace_cache = TraceCache()
+        self._trace_cache = trace_cache if compile != "eager" else None
+        self._broken_traces: set = set()
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_ms / 1000.0
         self.max_pending = max_pending
@@ -413,11 +419,46 @@ class InferenceServer:
             requests_per_second=requests / uptime if uptime > 0 else 0.0,
             cache=self.cache.stats(),
             logit_cache=self._logit_cache.stats(),
+            trace=self._trace_cache.stats() if self._trace_cache is not None else None,
         )
+
+    @property
+    def trace_cache(self) -> Optional["TraceCache"]:
+        """The compiled-program cache (``None`` on an eager-only server)."""
+        return self._trace_cache
 
     # ------------------------------------------------------------------ #
     # Worker
     # ------------------------------------------------------------------ #
+    def _compiled_logits(self, graph_fp: str, graph, cache) -> Optional[np.ndarray]:
+        """Replay (compiling on first sight) the traced program for a graph.
+
+        Runs on the worker thread, which owns the model — tracing performs
+        one ordinary eager forward under a thread-local recorder, so it is
+        exactly as safe as the eager path it replaces.  Returns ``None``
+        when the model cannot be traced (or a program fails to replay); the
+        caller answers through the eager path and the failure is counted.
+        In ``"auto"`` mode a failed key is remembered and never retried;
+        ``"trace"`` retries on every miss.
+        """
+        trace_key = f"{self._logit_key_prefix[0]}/{graph_fp}"
+        if self.compile_mode == "auto" and trace_key in self._broken_traces:
+            return None
+        program = self._trace_cache.get(trace_key)
+        if program is not None and program.weights_version != self._weights_version:
+            # Hot-swapped weights (e.g. a warmed spill from an older
+            # artifact): recompile rather than serve stale logits.
+            program = None
+        try:
+            if program is None:
+                program = self._trace_cache.compile_and_store(self.model, graph, cache)
+            return program.run(cache=cache, model=self.model)
+        except Exception:  # any compile/replay failure degrades to eager
+            self._trace_cache.note_fallback()
+            if self.compile_mode == "auto":
+                self._broken_traces.add(trace_key)
+            return None
+
     def _serve_loop(self) -> None:
         while True:
             item = self._queue.get()
@@ -472,7 +513,11 @@ class InferenceServer:
                             self.model.signature(),
                             self._weights_version,
                         )
-                    logits = self.model.predict_logits(graph, cache)
+                    logits = None
+                    if self._trace_cache is not None:
+                        logits = self._compiled_logits(key, graph, cache)
+                    if logits is None:
+                        logits = self.model.predict_logits(graph, cache)
                     forwards += 1
                     if self.cache_logits:
                         # Full-graph tickets alias this array; freeze it so a

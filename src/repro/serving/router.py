@@ -41,6 +41,8 @@ from ..models.base import NodeClassifier
 from .artifacts import ModelArtifact, restore_model
 from .cache import LRUCache, OperatorCache
 from .engine import InferenceServer, InferenceTicket, ServerOverloaded, ServerStats
+from .stats import Stats, StatsSource
+from .trace import COMPILE_MODES, TraceCache, TraceCacheStats
 
 PathLike = Union[str, Path]
 
@@ -72,24 +74,19 @@ class ShardInfo:
 
 
 @dataclass
-class RouterStats:
+class RouterStats(Stats):
     """Front-door counters plus a per-shard engine snapshot."""
 
     submitted: int
     rejected: int
     max_pending: int
     shards: Dict[str, ServerStats]
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "submitted": self.submitted,
-            "rejected": self.rejected,
-            "max_pending": self.max_pending,
-            "shards": {name: stats.as_dict() for name, stats in self.shards.items()},
-        }
+    #: counters of the trace cache shared by every shard (``None`` when
+    #: the router serves eagerly).
+    trace: Optional[TraceCacheStats] = None
 
 
-class ShardRouter:
+class ShardRouter(StatsSource):
     """Fan requests out to per-artifact inference engines.
 
     Routing rules, in order:
@@ -114,10 +111,23 @@ class ShardRouter:
         logit_cache_capacity: int = DEFAULT_LOGIT_CAPACITY,
         operator_cache: Optional[OperatorCache] = None,
         engine_max_pending: Optional[int] = None,
+        compile: str = "auto",
+        trace_cache: Optional[TraceCache] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if compile not in COMPILE_MODES:
+            raise ValueError(
+                f"unknown compile mode {compile!r}; expected one of {COMPILE_MODES}"
+            )
         self.max_pending = max_pending
+        self.compile_mode = compile
+        # One trace cache for the whole router, like the operator cache:
+        # compiled programs are keyed by (signature, graph fingerprint) and
+        # versioned by weights, so shards can never collide.
+        if trace_cache is None and compile != "eager":
+            trace_cache = TraceCache()
+        self._trace_cache = trace_cache if compile != "eager" else None
         self._engine_kwargs = {
             "max_batch_size": max_batch_size,
             "max_wait_ms": max_wait_ms,
@@ -125,6 +135,8 @@ class ShardRouter:
             # Per-engine in-flight bound on top of the router-wide slots,
             # so one hot shard cannot monopolise the whole front door.
             "max_pending": engine_max_pending,
+            "compile": compile,
+            "trace_cache": self._trace_cache,
         }
         self._operator_cache = operator_cache if operator_cache is not None else OperatorCache()
         self._logit_cache = LRUCache(logit_cache_capacity)
@@ -178,6 +190,8 @@ class ShardRouter:
             # router with more shards than the cache default silently falls
             # back to cold-path latency on every request.
             self._operator_cache.grow(len(self._shards))
+            if self._trace_cache is not None:
+                self._trace_cache.grow(len(self._shards))
             # Seeded after the capacity grows — the other order could evict
             # an existing shard's entry from a cache already at capacity.
             if preprocess_cache is not None:
@@ -230,6 +244,12 @@ class ShardRouter:
         """The preprocess cache shared by every shard (warm/spill target)."""
         return self._operator_cache
 
+    @property
+    def trace_cache(self) -> Optional[TraceCache]:
+        """The compiled-program cache shared by every shard (warm/spill
+        target); ``None`` when the router serves eagerly."""
+        return self._trace_cache
+
     def shards(self) -> List[ShardInfo]:
         with self._lock:
             return list(self._shards.values())
@@ -247,6 +267,7 @@ class ShardRouter:
             rejected=rejected,
             max_pending=self.max_pending,
             shards={name: info.engine.stats() for name, info in shards.items()},
+            trace=self._trace_cache.stats() if self._trace_cache is not None else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,793 @@
+"""Traced, grad-free inference kernels: record one forward, replay many.
+
+The serving hot path used to execute the training-time autograd graph on
+every cache-miss forward — each op paying Python dispatch, Tensor
+construction and a closure-chained backward tape it never uses.  This
+module removes all of that with the record-once/replay-many idiom:
+
+1. **Record** — :func:`compile_forward` installs a thread-local
+   :class:`TraceRecorder` (see :func:`repro.nn.tensor.set_active_tracer`)
+   and runs one ordinary eager forward.  Every Tensor-producing op reports
+   ``(out, op, parents, attrs)``, yielding a flat topological program.
+2. **Classify leaves** — each non-recorded parent is a trained parameter
+   (matched against ``model.named_parameters()``), a preprocess-cache
+   array (matched by identity into the cache structure, so it can be
+   re-bound by path after a spill), or a literal constant.
+3. **Constant-fold** — under the serving default ``fold="all"`` the frozen
+   weights *and* the frozen graph operators are folded into the program:
+   any step whose inputs are all constants adopts its eagerly-computed
+   value (bit-identical by construction) and disappears.  ``"weights"``
+   folds only parameters, ``"none"`` keeps both as re-bindable inputs.
+4. **Fuse** — adjacent single-consumer elementwise steps collapse into one
+   fused step whose intermediate value lives in a register instead of the
+   program environment.  The same numpy kernels run in the same order, so
+   fusion cannot change a single bit.
+5. **Validate** — the program is replayed once against the traced eager
+   logits; anything short of ``np.array_equal`` (e.g. a nondeterministic
+   forward) raises :class:`TraceError` and the engine falls back to eager.
+
+Programs are keyed like the operator cache — ``model signature × graph
+fingerprint`` (:func:`repro.fingerprint.preprocess_key`) — and carry the
+``weights_version`` they were traced under, so a weight hot-swap triggers
+a recompile rather than stale logits.  :class:`TraceCache` stores them in
+an LRU beside the :class:`repro.serving.cache.OperatorCache`, with the
+same ``.npz`` ``spill()``/``warm()`` round trip so compiled programs
+survive across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..fingerprint import preprocess_key, state_fingerprint
+from ..graph.digraph import DirectedGraph
+from ..nn.tensor import Tensor, _as_array, set_active_tracer
+from .cache import (
+    _SPILL_META,
+    _WARM_ERRORS,
+    SPILL_FORMAT_VERSION,
+    CacheStats,
+    LRUCache,
+    _decode,
+    _encode,
+    _spill_filename,
+)
+from .stats import StatsSource
+
+PathLike = Union[str, Path]
+
+#: the engine's compile policies: ``auto`` traces and remembers failures,
+#: ``trace`` always retries, ``eager`` never compiles.
+COMPILE_MODES = ("auto", "eager", "trace")
+
+#: which leaves become constants: the serving default folds everything.
+FOLD_MODES = ("all", "weights", "none")
+
+#: default number of compiled programs kept in memory.
+DEFAULT_TRACE_CAPACITY = 32
+
+
+class TraceError(RuntimeError):
+    """A forward pass could not be traced (or a program failed to replay).
+
+    The serving layer treats this as a *soft* failure: the request is
+    answered through the ordinary eager path and the failure is counted in
+    the trace-cache stats.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# Replay kernels
+# ---------------------------------------------------------------------- #
+# One kernel per traced op, mirroring the exact numpy expression of the
+# eager implementation in repro.nn.tensor — same functions, same order —
+# which is what makes replayed logits bit-identical to eager ones.
+
+def _k_softmax(i: Sequence[np.ndarray], a: Dict[str, Any]) -> np.ndarray:
+    axis = a["axis"]
+    shifted = i[0] - i[0].max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def _k_log_softmax(i: Sequence[np.ndarray], a: Dict[str, Any]) -> np.ndarray:
+    axis = a["axis"]
+    shifted = i[0] - i[0].max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def _k_elu(i: Sequence[np.ndarray], a: Dict[str, Any]) -> np.ndarray:
+    x = i[0]
+    return np.where(x > 0, x, a["alpha"] * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+
+_KERNELS: Dict[str, Callable[[Sequence[np.ndarray], Dict[str, Any]], np.ndarray]] = {
+    "add": lambda i, a: i[0] + i[1],
+    "neg": lambda i, a: -i[0],
+    "mul": lambda i, a: i[0] * i[1],
+    "div": lambda i, a: i[0] / i[1],
+    "pow": lambda i, a: i[0] ** a["exponent"],
+    "matmul": lambda i, a: i[0] @ i[1],
+    "transpose": lambda i, a: i[0].T,
+    "reshape": lambda i, a: i[0].reshape(*a["shape"]),
+    "getitem": lambda i, a: i[0][a["index"]],
+    "sum": lambda i, a: i[0].sum(axis=a["axis"], keepdims=a["keepdims"]),
+    "max": lambda i, a: i[0].max(axis=a["axis"], keepdims=a["keepdims"]),
+    "exp": lambda i, a: np.exp(i[0]),
+    "log": lambda i, a: np.log(i[0]),
+    "abs": lambda i, a: np.abs(i[0]),
+    "relu": lambda i, a: i[0] * (i[0] > 0),
+    "leaky_relu": lambda i, a: i[0] * np.where(i[0] > 0, 1.0, a["negative_slope"]),
+    "sigmoid": lambda i, a: 1.0 / (1.0 + np.exp(-i[0])),
+    "tanh": lambda i, a: np.tanh(i[0]),
+    "softmax": _k_softmax,
+    "log_softmax": _k_log_softmax,
+    "elu": _k_elu,
+    "where": lambda i, a: np.where(a["condition"], i[0], i[1]),
+    "sparse_matmul": lambda i, a: a["matrix"] @ i[0],
+    "concatenate": lambda i, a: np.concatenate(list(i), axis=a["axis"]),
+    "stack": lambda i, a: np.stack(list(i), axis=a["axis"]),
+}
+
+#: ops a fusion chain may *continue* with (shape-compatible elementwise).
+_FUSIBLE = frozenset(
+    {
+        "add", "neg", "mul", "div", "pow", "exp", "log", "abs",
+        "relu", "leaky_relu", "sigmoid", "tanh", "elu", "where",
+    }
+)
+
+
+# ---------------------------------------------------------------------- #
+# Recording
+# ---------------------------------------------------------------------- #
+class TraceRecorder:
+    """Observes every Tensor an eager forward creates on this thread.
+
+    Strong references to every recorded tensor (and its parents) are kept
+    for the recorder's lifetime: intermediate no-grad tensors hold no
+    parent links, so without the keepalive they could be collected
+    mid-forward and their ``id()`` recycled onto a later tensor, silently
+    corrupting the recorded dataflow.
+    """
+
+    __slots__ = ("nodes", "records", "keepalive")
+
+    def __init__(self) -> None:
+        #: flat topological program: (tensor, op, parents, attrs) per step.
+        self.nodes: List[Tuple[Tensor, str, Tuple[Tensor, ...], Dict[str, Any]]] = []
+        #: id(tensor) -> index into :attr:`nodes`.
+        self.records: Dict[int, int] = {}
+        self.keepalive: List[Tensor] = []
+
+    def record(
+        self,
+        out: Tensor,
+        op: Optional[str],
+        parents: Sequence[Tensor],
+        attrs: Dict[str, Any],
+    ) -> None:
+        if op is None:
+            raise TraceError(
+                "operation recorded without trace metadata (op=None); the op "
+                "bypassed the instrumented Tensor constructors and cannot be replayed"
+            )
+        self.keepalive.append(out)
+        self.keepalive.extend(parents)
+        self.records[id(out)] = len(self.nodes)
+        self.nodes.append((out, op, tuple(parents), dict(attrs)))
+
+    def index_of_data(self, array: np.ndarray) -> Optional[int]:
+        """The last recorded node whose output array *is* ``array``."""
+        for index in range(len(self.nodes) - 1, -1, -1):
+            if self.nodes[index][0].data is array:
+                return index
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Input binding
+# ---------------------------------------------------------------------- #
+def _flatten_bindings(cache: Dict[str, object]) -> Dict[int, str]:
+    """Map ``id(array)`` of every bindable cache array to a stable path.
+
+    Paths address into the preprocess-cache structure (dict keys and
+    sequence indices joined by ``.``; graphs expose ``features`` /
+    ``labels``), so a program re-bound after a disk round trip finds its
+    inputs without object identity.  The first path wins for arrays shared
+    across entries (e.g. ADPA's ``initial`` tensor appearing in every DP
+    step), keeping the mapping deterministic.
+    """
+    paths: Dict[int, str] = {}
+
+    def register(array: np.ndarray, path: str) -> None:
+        paths.setdefault(id(array), path)
+
+    def visit(value: Any, path: str) -> None:
+        if isinstance(value, Tensor):
+            register(value.data, path)
+        elif isinstance(value, np.ndarray):
+            register(value, path)
+        elif isinstance(value, dict):
+            for key, entry in value.items():
+                # Un-addressable keys (dots, non-strings) stay constants.
+                if isinstance(key, str) and "." not in key:
+                    visit(entry, f"{path}.{key}" if path else key)
+        elif isinstance(value, (list, tuple)):
+            for index, entry in enumerate(value):
+                visit(entry, f"{path}.{index}" if path else str(index))
+        elif isinstance(value, DirectedGraph):
+            visit(value.features, f"{path}.features" if path else "features")
+            visit(value.labels, f"{path}.labels" if path else "labels")
+
+    visit(cache, "")
+    return paths
+
+
+def _resolve_binding(cache: Dict[str, object], path: str) -> np.ndarray:
+    value: Any = cache
+    for token in path.split("."):
+        if isinstance(value, dict):
+            value = value[token]
+        elif isinstance(value, (list, tuple)):
+            value = value[int(token)]
+        elif isinstance(value, DirectedGraph):
+            value = getattr(value, token)
+        else:
+            raise KeyError(f"cannot walk {token!r} of {type(value).__name__} in {path!r}")
+    if isinstance(value, Tensor):
+        return value.data
+    return _as_array(value)
+
+
+# ---------------------------------------------------------------------- #
+# The compiled program
+# ---------------------------------------------------------------------- #
+@dataclass
+class TracedProgram:
+    """A flat, grad-free numpy program replaying one model × graph forward.
+
+    ``steps`` reference values as ``(kind, index)`` pairs — ``("c", i)``
+    a folded constant, ``("in", i)`` a re-bindable input (bound by path at
+    :meth:`run` time), ``("v", i)`` an earlier step's result, and
+    ``("r", 0)`` the register inside a fused chain.  Under the serving
+    default ``fold="all"`` the step list is empty (or nearly so) and
+    :meth:`run` degenerates to returning a validated constant — the whole
+    autograd forward priced at one array copy.
+    """
+
+    key: str
+    weights_version: str
+    fold: str
+    constants: List[np.ndarray]
+    input_paths: List[str]
+    steps: List[Dict[str, Any]]
+    output: Tuple[str, int]
+    num_recorded: int = 0
+    num_folded: int = 0
+    num_fused: int = 0
+
+    def run(
+        self,
+        cache: Optional[Dict[str, object]] = None,
+        model=None,
+    ) -> np.ndarray:
+        """Replay the program; no Tensor and no tape is ever constructed.
+
+        ``cache`` / ``model`` bind the program's inputs for the partial
+        fold policies (``"weights"`` needs the preprocess cache,
+        ``"none"`` additionally the model's parameters); a fully folded
+        program ignores both.
+        """
+        inputs: List[np.ndarray] = []
+        if self.input_paths:
+            params: Optional[Dict[str, np.ndarray]] = None
+            for path in self.input_paths:
+                if path.startswith("cache:"):
+                    if cache is None:
+                        raise TraceError(f"program input {path!r} needs a preprocess cache")
+                    inputs.append(_resolve_binding(cache, path[len("cache:"):]))
+                elif path.startswith("param:"):
+                    if model is None:
+                        raise TraceError(f"program input {path!r} needs the model")
+                    if params is None:
+                        params = {name: p.data for name, p in model.named_parameters()}
+                    inputs.append(params[path[len("param:"):]])
+                else:
+                    raise TraceError(f"unknown input binding {path!r}")
+
+        constants = self.constants
+        env: List[Optional[np.ndarray]] = [None] * len(self.steps)
+
+        def resolve(ref: Sequence[Any]) -> np.ndarray:
+            kind, index = ref[0], ref[1]
+            if kind == "c":
+                return constants[index]
+            if kind == "in":
+                return inputs[index]
+            return env[index]
+
+        for position, step in enumerate(self.steps):
+            if step["op"] == "fused":
+                register: Optional[np.ndarray] = None
+                for sub in step["chain"]:
+                    args = [
+                        register if ref[0] == "r" else resolve(ref)
+                        for ref in sub["inputs"]
+                    ]
+                    register = _KERNELS[sub["op"]](args, sub["attrs"])
+                env[position] = register
+            else:
+                args = [resolve(ref) for ref in step["inputs"]]
+                env[position] = _KERNELS[step["op"]](args, step["attrs"])
+
+        out = resolve(self.output)
+        if self.output[0] != "v":
+            # A constant (or input) output is owned by the program; hand the
+            # caller a private copy so in-place mutation cannot corrupt it.
+            out = out.copy()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Introspection / persistence
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "fold": self.fold,
+            "recorded_ops": self.num_recorded,
+            "folded_ops": self.num_folded,
+            "fused_ops": self.num_fused,
+            "steps": len(self.steps),
+            "constants": len(self.constants),
+            "inputs": len(self.input_paths),
+            "weights_version": self.weights_version,
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        """A codec-friendly nesting (dict/list/tuple/ndarray/sparse)."""
+        return {
+            "key": self.key,
+            "weights_version": self.weights_version,
+            "fold": self.fold,
+            "constants": list(self.constants),
+            "input_paths": list(self.input_paths),
+            "steps": self.steps,
+            "output": tuple(self.output),
+            "num_recorded": self.num_recorded,
+            "num_folded": self.num_folded,
+            "num_fused": self.num_fused,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TracedProgram":
+        return cls(
+            key=payload["key"],
+            weights_version=payload["weights_version"],
+            fold=payload["fold"],
+            constants=list(payload["constants"]),
+            input_paths=list(payload["input_paths"]),
+            steps=list(payload["steps"]),
+            output=tuple(payload["output"]),
+            num_recorded=int(payload.get("num_recorded", 0)),
+            num_folded=int(payload.get("num_folded", 0)),
+            num_fused=int(payload.get("num_fused", 0)),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Compilation passes
+# ---------------------------------------------------------------------- #
+def _build_program(
+    model,
+    cache: Dict[str, object],
+    recorder: TraceRecorder,
+    out_index: int,
+    fold: str,
+    key: str,
+    weights_version: str,
+) -> TracedProgram:
+    param_names = {id(param): name for name, param in model.named_parameters()}
+    bind_paths = _flatten_bindings(cache) if fold != "all" else {}
+
+    constants: List[np.ndarray] = []
+    const_slots: Dict[int, int] = {}
+    input_paths: List[str] = []
+    input_slots: Dict[str, int] = {}
+    steps: List[Dict[str, Any]] = []
+    ref_by_tid: Dict[int, Tuple[str, int]] = {}
+    num_folded = 0
+
+    def const_ref(array: np.ndarray) -> Tuple[str, int]:
+        slot = const_slots.get(id(array))
+        if slot is None:
+            slot = len(constants)
+            constants.append(array)
+            const_slots[id(array)] = slot
+        return ("c", slot)
+
+    def input_ref(path: str) -> Tuple[str, int]:
+        slot = input_slots.get(path)
+        if slot is None:
+            slot = len(input_paths)
+            input_paths.append(path)
+            input_slots[path] = slot
+        return ("in", slot)
+
+    def leaf_ref(parent: Tensor) -> Tuple[str, int]:
+        name = param_names.get(id(parent))
+        if name is not None:
+            if fold == "none":
+                return input_ref(f"param:{name}")
+            return const_ref(parent.data)
+        path = bind_paths.get(id(parent.data))
+        if path is not None:
+            return input_ref(f"cache:{path}")
+        return const_ref(parent.data)
+
+    for tensor, op, parents, attrs in recorder.nodes:
+        if op not in _KERNELS:
+            raise TraceError(f"no replay kernel for traced op {op!r}")
+        refs = [
+            ref_by_tid[id(parent)]
+            if id(parent) in recorder.records
+            else leaf_ref(parent)
+            for parent in parents
+        ]
+        if all(ref[0] == "c" for ref in refs):
+            # Constant folding: the eager value *is* this step evaluated on
+            # those constants, so adopting it is bit-identical and free.
+            ref_by_tid[id(tensor)] = const_ref(tensor.data)
+            num_folded += 1
+        else:
+            steps.append({"op": op, "inputs": refs, "attrs": attrs})
+            ref_by_tid[id(tensor)] = ("v", len(steps) - 1)
+
+    out_tensor = recorder.nodes[out_index][0]
+    output = ref_by_tid[id(out_tensor)]
+    steps, output, num_fused = _fuse_elementwise(steps, output)
+
+    # Folded-away constants that no surviving step references are dead
+    # weight; dropping them keeps spilled programs (and memory) lean.
+    constants, input_paths, steps, output = _prune(constants, input_paths, steps, output)
+
+    return TracedProgram(
+        key=key,
+        weights_version=weights_version,
+        fold=fold,
+        constants=constants,
+        input_paths=input_paths,
+        steps=steps,
+        output=output,
+        num_recorded=len(recorder.nodes),
+        num_folded=num_folded,
+        num_fused=num_fused,
+    )
+
+
+def _fuse_elementwise(
+    steps: List[Dict[str, Any]],
+    output: Tuple[str, int],
+) -> Tuple[List[Dict[str, Any]], Tuple[str, int], int]:
+    """Collapse runs of single-consumer elementwise steps into fused steps.
+
+    A chain's interior values never touch the program environment — they
+    flow through a register — but every kernel still runs with identical
+    arguments in identical order, so fused replay is bit-identical.
+    """
+    if not steps:
+        return steps, output, 0
+
+    consumers = [0] * len(steps)
+    for step in steps:
+        for ref in step["inputs"]:
+            if ref[0] == "v":
+                consumers[ref[1]] += 1
+    if output[0] == "v":
+        consumers[output[1]] += 1
+
+    def remap(ref: Tuple[str, int], ref_map: Dict[int, Tuple[str, int]]) -> Tuple[str, int]:
+        return ref_map[ref[1]] if ref[0] == "v" else ref
+
+    new_steps: List[Dict[str, Any]] = []
+    ref_map: Dict[int, Tuple[str, int]] = {}
+    num_fused = 0
+    index = 0
+    while index < len(steps):
+        # Greedily extend: the next step must be elementwise, consume this
+        # chain's value exactly once, and be that value's only consumer.
+        last = index
+        while last + 1 < len(steps):
+            candidate = steps[last + 1]
+            if candidate["op"] not in _FUSIBLE or consumers[last] != 1:
+                break
+            uses_prev = sum(1 for ref in candidate["inputs"] if ref == ("v", last))
+            other_ok = all(
+                ref == ("v", last) or ref[0] != "v" or ref[1] in ref_map
+                for ref in candidate["inputs"]
+            )
+            if uses_prev != 1 or not other_ok:
+                break
+            last += 1
+
+        if last == index:
+            step = steps[index]
+            new_steps.append(
+                {
+                    "op": step["op"],
+                    "inputs": [remap(ref, ref_map) for ref in step["inputs"]],
+                    "attrs": step["attrs"],
+                }
+            )
+        else:
+            chain = []
+            for position in range(index, last + 1):
+                step = steps[position]
+                chain.append(
+                    {
+                        "op": step["op"],
+                        "inputs": [
+                            ("r", 0)
+                            if position > index and ref == ("v", position - 1)
+                            else remap(ref, ref_map)
+                            for ref in step["inputs"]
+                        ],
+                        "attrs": step["attrs"],
+                    }
+                )
+            new_steps.append({"op": "fused", "chain": chain, "attrs": {}, "inputs": []})
+            num_fused += last - index + 1
+        ref_map[last] = ("v", len(new_steps) - 1)
+        index = last + 1
+
+    return new_steps, remap(output, ref_map), num_fused
+
+
+def _prune(
+    constants: List[np.ndarray],
+    input_paths: List[str],
+    steps: List[Dict[str, Any]],
+    output: Tuple[str, int],
+) -> Tuple[List[np.ndarray], List[str], List[Dict[str, Any]], Tuple[str, int]]:
+    """Drop constants/inputs no surviving reference uses; renumber refs."""
+    used_consts: Dict[int, int] = {}
+    used_inputs: Dict[int, int] = {}
+
+    def note(ref: Sequence[Any]) -> None:
+        kind, index = ref[0], ref[1]
+        if kind == "c" and index not in used_consts:
+            used_consts[index] = len(used_consts)
+        elif kind == "in" and index not in used_inputs:
+            used_inputs[index] = len(used_inputs)
+
+    def walk(refs: Sequence[Sequence[Any]]) -> None:
+        for ref in refs:
+            note(ref)
+
+    for step in steps:
+        walk(step["inputs"])
+        for sub in step.get("chain", ()):
+            walk(sub["inputs"])
+    note(output)
+
+    def renumber(ref: Sequence[Any]):
+        kind, index = ref[0], ref[1]
+        if kind == "c":
+            return ("c", used_consts[index])
+        if kind == "in":
+            return ("in", used_inputs[index])
+        return tuple(ref)
+
+    for step in steps:
+        step["inputs"] = [renumber(ref) for ref in step["inputs"]]
+        for sub in step.get("chain", ()):
+            sub["inputs"] = [renumber(ref) for ref in sub["inputs"]]
+
+    new_constants = [None] * len(used_consts)
+    for old, new in used_consts.items():
+        new_constants[new] = constants[old]
+    new_inputs = [None] * len(used_inputs)
+    for old, new in used_inputs.items():
+        new_inputs[new] = input_paths[old]
+    return new_constants, new_inputs, steps, renumber(output)
+
+
+# ---------------------------------------------------------------------- #
+# Public entry point
+# ---------------------------------------------------------------------- #
+def compile_forward(
+    model,
+    graph: DirectedGraph,
+    cache: Optional[Dict[str, object]] = None,
+    fold: str = "all",
+) -> TracedProgram:
+    """Trace one eager forward of ``model`` on ``graph`` into a program.
+
+    Any failure — an op without trace metadata, a kernel gap, or a replay
+    that is not bit-identical to the traced eager logits — raises
+    :class:`TraceError`; callers fall back to the eager path.
+    """
+    if fold not in FOLD_MODES:
+        raise ValueError(f"unknown fold mode {fold!r}; expected one of {FOLD_MODES}")
+    if cache is None:
+        cache = model.preprocess(graph)
+    recorder = TraceRecorder()
+    set_active_tracer(recorder)
+    try:
+        try:
+            eager = model.predict_logits(graph, cache)
+        except TraceError:
+            raise
+        except Exception as error:
+            raise TraceError(f"eager forward failed while tracing: {error!r}") from error
+    finally:
+        set_active_tracer(None)
+
+    if not recorder.nodes:
+        raise TraceError("forward pass recorded no traceable operations")
+    out_index = recorder.index_of_data(eager)
+    if out_index is None:
+        raise TraceError("model output was not produced by a traced operation")
+
+    program = _build_program(
+        model,
+        cache,
+        recorder,
+        out_index,
+        fold,
+        key=preprocess_key(model, graph),
+        weights_version=state_fingerprint(model.state_dict()),
+    )
+    replayed = program.run(cache=cache, model=model)
+    if not np.array_equal(replayed, eager):
+        raise TraceError(
+            "compiled replay is not bit-identical to the traced eager logits "
+            "(nondeterministic forward?)"
+        )
+    return program
+
+
+# ---------------------------------------------------------------------- #
+# The fingerprint-keyed program cache
+# ---------------------------------------------------------------------- #
+@dataclass
+class TraceCacheStats(CacheStats):
+    """Trace-cache counters: LRU hits/misses plus compile/fallback events."""
+
+    compiles: int = 0
+    fallbacks: int = 0
+
+
+class TraceCache(StatsSource):
+    """LRU of :class:`TracedProgram` entries, spillable like the operator cache.
+
+    Keys are ``preprocess_key(model, graph)`` strings; the stored program's
+    ``weights_version`` lets the engine detect hot-swapped weights and
+    recompile instead of serving stale logits.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self._cache = LRUCache(capacity)
+        self._lock = threading.Lock()
+        self._compiles = 0
+        self._fallbacks = 0
+
+    def get(self, key: str) -> Optional[TracedProgram]:
+        return self._cache.get(key)
+
+    def put(self, key: str, program: TracedProgram) -> None:
+        self._cache.put(key, program)
+
+    def compile_and_store(
+        self,
+        model,
+        graph: DirectedGraph,
+        cache: Optional[Dict[str, object]] = None,
+        fold: str = "all",
+    ) -> TracedProgram:
+        """Compile ``model`` × ``graph`` and store the program under its key."""
+        program = compile_forward(model, graph, cache, fold=fold)
+        with self._lock:
+            self._compiles += 1
+        self._cache.put(program.key, program)
+        return program
+
+    def note_fallback(self) -> None:
+        """Record one trace failure answered through the eager path."""
+        with self._lock:
+            self._fallbacks += 1
+
+    def grow(self, capacity: int) -> None:
+        self._cache.grow(capacity)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> TraceCacheStats:
+        base = self._cache.stats()
+        with self._lock:
+            compiles, fallbacks = self._compiles, self._fallbacks
+        return TraceCacheStats(
+            hits=base.hits,
+            misses=base.misses,
+            evictions=base.evictions,
+            size=base.size,
+            capacity=base.capacity,
+            compiles=compiles,
+            fallbacks=fallbacks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # On-disk persistence (same .npz + structure-descriptor codec as the
+    # operator cache, in a sibling directory)
+    # ------------------------------------------------------------------ #
+    def spill(self, directory: PathLike, overwrite: bool = False) -> int:
+        """Persist compiled programs under ``directory``; returns the count.
+
+        Mirrors :meth:`repro.serving.cache.OperatorCache.spill`: one
+        ``.npz`` per program named by a digest of its key, per-process
+        ``#token`` signatures skipped, existing files reused unless
+        ``overwrite``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for key, program in self._cache.entries():
+            if "#" in str(key).split("/", 1)[0]:
+                continue
+            path = directory / _spill_filename(key)
+            if not overwrite and path.exists():
+                continue
+            arrays: List[np.ndarray] = []
+            try:
+                structure = _encode(program.to_payload(), arrays)
+            except TypeError:
+                continue
+            payload = {f"a{index}": array for index, array in enumerate(arrays)}
+            payload[_SPILL_META] = np.array(
+                json.dumps(
+                    {
+                        "format_version": SPILL_FORMAT_VERSION,
+                        "kind": "trace",
+                        "key": key,
+                        "structure": structure,
+                    }
+                )
+            )
+            np.savez_compressed(path, **payload)
+            written += 1
+        return written
+
+    def warm(self, directory: PathLike) -> int:
+        """Reload spilled programs; unreadable or foreign files are skipped."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            return 0
+        loaded: List[Tuple[str, TracedProgram]] = []
+        for path in sorted(directory.glob("*.npz")):
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    meta = json.loads(str(data[_SPILL_META]))
+                    if (
+                        meta.get("format_version") != SPILL_FORMAT_VERSION
+                        or meta.get("kind") != "trace"
+                    ):
+                        continue
+                    payload = _decode(meta["structure"], data)
+                    loaded.append((meta["key"], TracedProgram.from_payload(payload)))
+            except _WARM_ERRORS:
+                continue
+        if loaded:
+            self._cache.grow(len(self._cache) + len(loaded))
+            for key, program in loaded:
+                self._cache.put(key, program)
+        return len(loaded)

@@ -8,8 +8,9 @@ import numpy as np
 import pytest
 
 from repro.api import AmudConfig, ModelHandle, ServeConfig, Session, TrainConfig, width_kwargs
+from repro.api.session import decision_to_dict, train_result_to_dict
 from repro.cli import main as cli_main
-from repro.pipeline import AmudPipeline
+from repro.serving import save_model
 from repro.training import Trainer
 
 QUICK = TrainConfig(epochs=5, patience=5)
@@ -144,65 +145,41 @@ class TestArtifactRoundTrips:
         assert restored.train_result.test_accuracy == pytest.approx(model.test_accuracy)
 
     def test_restore_reads_legacy_pipeline_artifacts(self, tmp_path):
-        with pytest.warns(DeprecationWarning):
-            pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
-        pipeline.fit(Session().load("texas").graph)
-        pipeline.save(tmp_path / "legacy")
+        # The AmudPipeline facade is gone, but its artifacts must stay
+        # loadable: recreate the exact on-disk shape its save() wrote.
+        model = Session(train=QUICK).load("texas").amud().fit()
+        save_model(
+            model.model,
+            tmp_path / "legacy",
+            metadata={
+                "kind": "amud-pipeline",
+                "pipeline": {
+                    "undirected_model": "GPRGNN",
+                    "directed_model": "ADPA",
+                    "threshold": 0.5,
+                    "seed": 0,
+                    "model_kwargs": {},
+                    "trainer": {
+                        "lr": 0.01, "weight_decay": 5e-4, "epochs": 5,
+                        "patience": 5, "optimizer": "adam",
+                    },
+                },
+                "model_name": model.model_name,
+                "decision": decision_to_dict(model.decision),
+                "train_result": train_result_to_dict(model.train_result),
+            },
+            graph=model.graph,
+        )
         restored = Session().restore(tmp_path / "legacy")
-        np.testing.assert_array_equal(restored.predict(), pipeline.predict())
+        np.testing.assert_array_equal(restored.predict(), model.predict())
         assert restored.decision is not None
+        assert restored.decision.keep_directed == model.decision.keep_directed
 
     def test_serve_single_handle(self, tmp_path):
         model = Session(train=QUICK).load("texas").fit("MLP", hidden=8)
         expected = model.predict()
         with model.serve() as server:
             np.testing.assert_array_equal(server.predict(node_ids=[0, 1, 2]), expected[:3])
-
-
-class TestDeprecationShims:
-    def test_amud_pipeline_warns_on_construction(self):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            AmudPipeline()
-
-    def test_amud_pipeline_still_fits_and_matches_session(self):
-        graph = Session().load("texas").graph
-        with pytest.warns(DeprecationWarning):
-            pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
-        legacy = pipeline.fit(graph)
-
-        model = Session(train=QUICK).from_graph(graph).amud().fit()
-        assert legacy.model_name == model.model_name
-        assert legacy.decision.score == pytest.approx(model.decision.score)
-        # Same seeds, same order of operations: bit-exact agreement.
-        np.testing.assert_array_equal(pipeline.predict(), model.predict())
-
-    def test_amud_pipeline_load_warns_and_round_trips(self, tmp_path):
-        graph = Session().load("texas").graph
-        with pytest.warns(DeprecationWarning):
-            pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
-        pipeline.fit(graph)
-        pipeline.save(tmp_path / "art")
-        with pytest.warns(DeprecationWarning):
-            reloaded = AmudPipeline.load(tmp_path / "art")
-        np.testing.assert_array_equal(reloaded.predict(), pipeline.predict())
-
-    def test_amud_pipeline_load_accepts_api_exports(self, tmp_path):
-        # `repro export` now writes kind='api-model'; the shim's loader must
-        # keep accepting AMUD-guided artifacts from the new path.
-        model = Session(train=QUICK).load("texas").amud().fit()
-        model.save(tmp_path / "art")
-        with pytest.warns(DeprecationWarning):
-            reloaded = AmudPipeline.load(tmp_path / "art")
-        assert reloaded.result.model_name == model.model_name
-        np.testing.assert_array_equal(reloaded.predict(), model.predict())
-
-    def test_amud_pipeline_load_rejects_unguided_api_exports(self, tmp_path):
-        # An explicit-model export carries no AMUD decision, so it cannot be
-        # repackaged as a pipeline.
-        model = Session(train=QUICK).load("texas").fit("MLP", hidden=8)
-        model.save(tmp_path / "art")
-        with pytest.raises(ValueError, match="Session.restore"):
-            AmudPipeline.load(tmp_path / "art")
 
 
 class TestCliArtifactErrors:

@@ -1,0 +1,243 @@
+"""Traced grad-free inference kernels: compile, replay, spill and fallback.
+
+The contract under test is bit-identity — a compiled program's logits must
+be ``np.array_equal`` to the eager forward for every registry model — plus
+the operational envelope around it: fold policies, the fingerprint-keyed
+:class:`TraceCache` with its ``.npz`` spill/warm round-trip, transparent
+engine integration with eager fallback, and the shared stats protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ServeConfig, Session, TrainConfig
+from repro.datasets import load_dataset
+from repro.models import available_models, create_model
+from repro.models.mlp import MLPClassifier
+from repro.serving import (
+    COMPILE_MODES,
+    FOLD_MODES,
+    InferenceServer,
+    LRUCache,
+    OperatorCache,
+    TraceCache,
+    TraceError,
+    compile_forward,
+    preprocess_key,
+)
+from repro.serving.stats import Stats, StatsSource
+
+
+@pytest.fixture(scope="module")
+def texas():
+    return load_dataset("texas", seed=0)
+
+
+class TestTraceEagerEquivalence:
+    @pytest.mark.parametrize("name", available_models())
+    def test_compiled_logits_bit_identical_to_eager(self, name, texas):
+        model = create_model(name, texas, seed=0)
+        cache = model.preprocess(texas)
+        eager = model.predict_logits(texas, cache)
+        program = compile_forward(model, texas, cache)
+        assert np.array_equal(program.run(cache=cache, model=model), eager)
+
+    @pytest.mark.parametrize("fold", FOLD_MODES)
+    def test_every_fold_policy_is_bit_identical(self, fold, texas):
+        model = create_model("GCN", texas, seed=0)
+        cache = model.preprocess(texas)
+        eager = model.predict_logits(texas, cache)
+        program = compile_forward(model, texas, cache, fold=fold)
+        assert program.fold == fold
+        assert np.array_equal(program.run(cache=cache, model=model), eager)
+
+    def test_full_fold_collapses_the_program(self, texas):
+        # fold="all" freezes weights and graph operators: the replay is a
+        # validated constant, no steps left to interpret.
+        model = create_model("MLP", texas, seed=0)
+        program = compile_forward(model, texas, fold="all")
+        assert program.steps == [] and len(program.constants) == 1
+        assert program.num_recorded > 0
+
+    def test_weight_fold_rebinds_the_preprocess_cache(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        cache = model.preprocess(texas)
+        program = compile_forward(model, texas, cache, fold="weights")
+        assert any(path.startswith("cache:") for path in program.input_paths)
+        # Re-binding different features through the same program must flow
+        # through, not replay a stale constant.
+        shifted = load_dataset("texas", seed=0)
+        shifted = shifted.with_(features=shifted.features + 1.0)
+        shifted_cache = model.preprocess(shifted)
+        fresh = model.predict_logits(shifted, shifted_cache)
+        assert np.array_equal(program.run(cache=shifted_cache, model=model), fresh)
+
+    def test_replay_survives_weight_mutation_detection(self, texas):
+        # fold="none" re-reads parameters at run time, so updated weights
+        # change the replayed logits exactly like the eager path.
+        model = create_model("MLP", texas, seed=0)
+        cache = model.preprocess(texas)
+        program = compile_forward(model, texas, cache, fold="none")
+        for _, parameter in model.named_parameters():
+            parameter.data = parameter.data + 0.25
+        assert np.array_equal(
+            program.run(cache=cache, model=model), model.predict_logits(texas, cache)
+        )
+
+    def test_program_describe_reports_compression(self, texas):
+        model = create_model("GCN", texas, seed=0)
+        description = compile_forward(model, texas).describe()
+        assert description["recorded_ops"] >= description["steps"]
+        assert description["fold"] == "all"
+
+
+class TestTraceCache:
+    def test_compile_and_store_round_trip(self, texas):
+        model = create_model("SGC", texas, seed=0)
+        operators = OperatorCache()
+        graph_cache = operators.preprocess(model, texas)
+        traces = TraceCache(capacity=4)
+        program = traces.compile_and_store(model, texas, graph_cache)
+        assert traces.get(preprocess_key(model, texas)) is program
+        stats = traces.stats()
+        assert stats.compiles == 1 and stats.fallbacks == 0
+
+    def test_spill_and_warm_round_trip(self, texas, tmp_path):
+        model = create_model("GCN", texas, seed=0)
+        graph_cache = model.preprocess(texas)
+        eager = model.predict_logits(texas, graph_cache)
+
+        traces = TraceCache(capacity=4)
+        program = traces.compile_and_store(model, texas, graph_cache, fold="weights")
+        assert traces.spill(tmp_path / "traces") == 1
+
+        warmed = TraceCache(capacity=4)
+        assert warmed.warm(tmp_path / "traces") == 1
+        restored = warmed.get(program.key)
+        assert restored is not None
+        assert restored.weights_version == program.weights_version
+        assert np.array_equal(restored.run(cache=graph_cache, model=model), eager)
+
+    def test_warm_ignores_operator_cache_spills(self, texas, tmp_path):
+        # Trace and operator spills share one codec but are tagged by kind;
+        # warming the wrong directory must not cross-load entries.
+        model = create_model("MLP", texas, seed=0)
+        operators = OperatorCache()
+        operators.preprocess(model, texas)
+        operators.spill(tmp_path / "ops")
+        assert TraceCache().warm(tmp_path / "ops") == 0
+        traces = TraceCache()
+        traces.compile_and_store(model, texas)
+        traces.spill(tmp_path / "traces")
+        assert OperatorCache().warm(tmp_path / "traces") == 0
+
+    def test_warm_missing_directory_is_a_noop(self, tmp_path):
+        assert TraceCache().warm(tmp_path / "absent") == 0
+
+
+def _served_logits(server):
+    ticket = server.submit()
+    ticket.result(timeout=60)
+    return ticket.logits
+
+
+class _OpaqueMLP(MLPClassifier):
+    """An MLP whose last op carries no trace metadata — untraceable."""
+
+    def forward(self, cache):
+        out = super().forward(cache)
+        # op=None: eager autograd still works, the tracer must refuse.
+        return out._make(out.data * 1.0, (out,), lambda grad: (grad,))
+
+
+class TestEngineIntegration:
+    def test_server_answers_cache_misses_from_the_compiled_program(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        eager = model.predict_logits(texas)
+        server = InferenceServer(
+            model, texas, compile="trace", cache_logits=False, max_wait_ms=0.0
+        )
+        with server:
+            first = _served_logits(server)
+            second = _served_logits(server)
+        assert np.array_equal(first, eager) and np.array_equal(second, eager)
+        trace_stats = server.trace_cache.stats()
+        assert trace_stats.compiles == 1
+        assert trace_stats.hits >= 1 and trace_stats.fallbacks == 0
+
+    def test_untraceable_model_falls_back_to_eager(self, texas):
+        model = _OpaqueMLP(
+            num_features=texas.num_features, num_classes=texas.num_classes, seed=0
+        )
+        with pytest.raises(TraceError):
+            compile_forward(model, texas)
+        eager = model.predict_logits(texas)
+        server = InferenceServer(
+            model, texas, compile="auto", cache_logits=False, max_wait_ms=0.0
+        )
+        with server:
+            answered = _served_logits(server)
+            answered_again = _served_logits(server)
+        assert np.array_equal(answered, eager) and np.array_equal(answered_again, eager)
+        trace_stats = server.trace_cache.stats()
+        assert trace_stats.fallbacks >= 1 and trace_stats.compiles == 0
+
+    def test_eager_mode_allocates_no_trace_cache(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        server = InferenceServer(model, texas, compile="eager")
+        assert server.trace_cache is None
+        assert server.stats().trace is None
+        with server:
+            assert np.array_equal(_served_logits(server), model.predict_logits(texas))
+
+    def test_compile_mode_is_validated(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        with pytest.raises(ValueError, match="compile"):
+            InferenceServer(model, texas, compile="sometimes")
+        with pytest.raises(ValueError, match="compile"):
+            ServeConfig(compile="sometimes")
+        assert set(COMPILE_MODES) == {"auto", "eager", "trace"}
+
+    def test_serve_config_plumbs_compile_through_session(self, texas):
+        handle = Session(train=TrainConfig(epochs=2, patience=2)).from_graph(texas).fit("MLP")
+        eager = handle.predict_logits()
+        config = ServeConfig(compile="trace", cache_logits=False, max_wait_ms=0.0)
+        with handle.serve(config) as server:
+            assert np.array_equal(_served_logits(server), eager)
+        assert server.stats().trace.compiles == 1
+
+
+class TestStatsProtocol:
+    def test_every_stats_source_snapshot_matches_as_dict(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        sources = [LRUCache(capacity=2), OperatorCache(), TraceCache()]
+        server = InferenceServer(model, texas)
+        sources.append(server)
+        for source in sources:
+            assert isinstance(source, StatsSource)
+            assert isinstance(source.stats(), Stats)
+            assert source.snapshot() == source.stats().as_dict()
+
+    def test_trace_counters_ride_the_cache_stats_shape(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        traces = TraceCache(capacity=4)
+        traces.compile_and_store(model, texas)
+        traces.note_fallback()
+        snapshot = traces.snapshot()
+        for key in ("hits", "misses", "hit_rate", "compiles", "fallbacks"):
+            assert key in snapshot
+        assert snapshot["compiles"] == 1 and snapshot["fallbacks"] == 1
+
+    def test_server_snapshot_nests_component_dicts(self, texas):
+        model = create_model("MLP", texas, seed=0)
+        server = InferenceServer(model, texas, compile="trace")
+        snapshot = server.snapshot()
+        assert snapshot["cache"]["hits"] == 0
+        assert snapshot["logit_cache"]["capacity"] > 0
+        assert snapshot["trace"]["compiles"] == 0
+
+    def test_lru_entries_lists_pairs(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.entries() == [("a", 1), ("b", 2)]

@@ -74,31 +74,22 @@ class TestPaperPropositions:
 
 
 class TestEndToEndWorkflow:
-    def test_full_pipeline_on_both_regimes(self, citeseer, chameleon):
-        from repro.pipeline import AmudPipeline
+    def test_full_workflow_on_both_regimes(self, citeseer, chameleon):
+        from repro.api import AmudConfig, Session, TrainConfig
 
-        quick = Trainer(epochs=40, patience=15)
-        pipeline = AmudPipeline(
-            undirected_model="GPRGNN",
-            directed_model="ADPA",
-            trainer=quick,
-            model_kwargs={"directed": {"num_steps": 2, "hidden": 32}},
+        session = Session(
+            train=TrainConfig(epochs=40, patience=15),
+            amud=AmudConfig(undirected_model="GPRGNN", directed_model="ADPA"),
         )
-        homophilous_result = pipeline.fit(citeseer)
-        assert homophilous_result.model_name == "GPRGNN"
+        homophilous = session.from_graph(citeseer).amud().fit()
+        assert homophilous.model_name == "GPRGNN"
 
-        pipeline_directed = AmudPipeline(
-            undirected_model="GPRGNN",
-            directed_model="ADPA",
-            trainer=quick,
-            model_kwargs={"directed": {"num_steps": 2, "hidden": 32}},
-        )
-        heterophilous_result = pipeline_directed.fit(chameleon)
-        assert heterophilous_result.model_name == "ADPA"
+        heterophilous = session.from_graph(chameleon).amud().fit(num_steps=2, hidden=32)
+        assert heterophilous.model_name == "ADPA"
 
-        for result in (homophilous_result, heterophilous_result):
-            majority = result.modeled_graph.label_distribution().max()
-            assert result.test_accuracy > majority
+        for model in (homophilous, heterophilous):
+            majority = model.graph.label_distribution().max()
+            assert model.test_accuracy > majority
 
     def test_training_reproducibility_end_to_end(self, chameleon):
         trainer = Trainer(epochs=20, patience=10)

@@ -1,97 +1,135 @@
-"""Tests for the end-to-end AMUD pipeline (paper Fig. 1 workflow)."""
+"""The end-to-end AMUD workflow (paper Fig. 1) through ``repro.api``.
+
+The ``AmudPipeline`` facade that used to host this workflow is retired —
+its behaviours live on :class:`repro.api.Session` now, and these tests
+pin both the workflow and the loud retirement of the old entry points.
+"""
 
 import numpy as np
 import pytest
 
-from repro.pipeline import AmudPipeline
-from repro.training import Trainer
+from repro.api import AmudConfig, Session, TrainConfig
+
+QUICK = TrainConfig(epochs=20, patience=10)
+SGC_OR_DIRGNN = AmudConfig(undirected_model="SGC", directed_model="DirGNN")
 
 
-@pytest.fixture()
-def quick_trainer():
-    return Trainer(epochs=20, patience=10)
-
-
-class TestPipelineConfiguration:
+class TestWorkflowConfiguration:
     def test_rejects_unknown_models(self):
         with pytest.raises(KeyError):
-            AmudPipeline(undirected_model="nope")
+            AmudConfig(undirected_model="nope")
         with pytest.raises(KeyError):
-            AmudPipeline(directed_model="nope")
+            AmudConfig(directed_model="nope")
 
-    def test_predict_before_fit_raises(self):
-        pipeline = AmudPipeline()
-        with pytest.raises(RuntimeError):
-            pipeline.predict()
-        with pytest.raises(RuntimeError):
-            _ = pipeline.result
+    def test_fit_rejects_unknown_model_names(self, homophilous_graph):
+        with pytest.raises(KeyError):
+            Session(train=QUICK).from_graph(homophilous_graph).fit("nope")
 
 
-class TestPipelineBranches:
-    def test_homophilous_graph_takes_undirected_branch(self, homophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN", trainer=quick_trainer
+class TestWorkflowBranches:
+    def test_homophilous_graph_takes_undirected_branch(self, homophilous_graph):
+        model = (
+            Session(train=QUICK, amud=SGC_OR_DIRGNN)
+            .from_graph(homophilous_graph)
+            .amud()
+            .fit()
         )
-        result = pipeline.fit(homophilous_graph)
-        assert not result.decision.keep_directed
-        assert result.model_name == "SGC"
-        assert not result.modeled_graph.is_directed()
-        assert 0.0 <= result.test_accuracy <= 1.0
+        assert not model.decision.keep_directed
+        assert model.model_name == "SGC"
+        assert not model.graph.is_directed()
+        assert 0.0 <= model.test_accuracy <= 1.0
 
-    def test_heterophilous_graph_takes_directed_branch(self, heterophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN", trainer=quick_trainer
+    def test_heterophilous_graph_takes_directed_branch(self, heterophilous_graph):
+        model = (
+            Session(train=QUICK, amud=SGC_OR_DIRGNN)
+            .from_graph(heterophilous_graph)
+            .amud()
+            .fit()
         )
-        result = pipeline.fit(heterophilous_graph)
-        assert result.decision.keep_directed
-        assert result.model_name == "DirGNN"
-        assert result.modeled_graph is heterophilous_graph
+        assert model.decision.keep_directed
+        assert model.model_name == "DirGNN"
+        assert model.graph is heterophilous_graph
 
-    def test_threshold_flips_branch(self, heterophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN",
-            threshold=10.0, trainer=quick_trainer,
+    def test_threshold_flips_branch(self, heterophilous_graph):
+        forced = SGC_OR_DIRGNN.replace(threshold=10.0)
+        model = (
+            Session(train=QUICK, amud=forced)
+            .from_graph(heterophilous_graph)
+            .amud()
+            .fit()
         )
-        result = pipeline.fit(heterophilous_graph)
-        assert result.model_name == "SGC"
+        assert model.model_name == "SGC"
 
-    def test_branch_specific_kwargs(self, heterophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="SGC",
-            directed_model="ADPA",
-            trainer=quick_trainer,
-            model_kwargs={"directed": {"hidden": 16, "num_steps": 2}},
-        )
-        result = pipeline.fit(heterophilous_graph)
-        assert result.model_name == "ADPA"
+    def test_branch_specific_kwargs(self, heterophilous_graph):
+        amud = AmudConfig(undirected_model="SGC", directed_model="ADPA")
+        handle = Session(train=QUICK, amud=amud).from_graph(heterophilous_graph).amud()
+        model = handle.fit(hidden=16, num_steps=2)
+        assert model.model_name == "ADPA"
 
-    def test_predict_after_fit(self, heterophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN", trainer=quick_trainer
+    def test_predict_after_fit(self, heterophilous_graph):
+        model = (
+            Session(train=QUICK, amud=SGC_OR_DIRGNN)
+            .from_graph(heterophilous_graph)
+            .amud()
+            .fit()
         )
-        pipeline.fit(heterophilous_graph)
-        predictions = pipeline.predict()
+        predictions = model.predict()
         assert predictions.shape == (heterophilous_graph.num_nodes,)
-        assert pipeline.is_fitted
 
-    def test_pipeline_beats_majority_class(self, heterophilous_graph, quick_trainer):
-        pipeline = AmudPipeline(
-            undirected_model="GPRGNN", directed_model="DirGNN", trainer=quick_trainer
-        )
-        result = pipeline.fit(heterophilous_graph)
+    def test_workflow_beats_majority_class(self, heterophilous_graph):
+        amud = AmudConfig(undirected_model="GPRGNN", directed_model="DirGNN")
+        model = Session(train=QUICK, amud=amud).from_graph(heterophilous_graph).amud().fit()
         majority = heterophilous_graph.label_distribution().max()
-        assert result.test_accuracy > majority
+        assert model.test_accuracy > majority
 
-    def test_amud_guidance_helps_on_directed_data(self, heterophilous_graph, quick_trainer):
+    def test_amud_guidance_helps_on_directed_data(self, heterophilous_graph):
         """Following AMUD (directed branch) beats forcing the undirected branch.
 
-        This is the pipeline-level version of the paper's 4.57% claim.
+        This is the workflow-level version of the paper's 4.57% claim.
         """
-        guided = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN", trainer=quick_trainer
-        ).fit(heterophilous_graph)
-        forced_undirected = AmudPipeline(
-            undirected_model="SGC", directed_model="DirGNN",
-            threshold=10.0, trainer=quick_trainer,
-        ).fit(heterophilous_graph)
-        assert guided.test_accuracy > forced_undirected.test_accuracy
+        guided = (
+            Session(train=QUICK, amud=SGC_OR_DIRGNN)
+            .from_graph(heterophilous_graph)
+            .amud()
+            .fit()
+        )
+        forced = (
+            Session(train=QUICK, amud=SGC_OR_DIRGNN.replace(threshold=10.0))
+            .from_graph(heterophilous_graph)
+            .amud()
+            .fit()
+        )
+        assert guided.test_accuracy > forced.test_accuracy
+
+
+class TestPipelineRetirement:
+    """The old facade fails loudly and points at the replacement."""
+
+    def test_module_import_raises_with_pointer(self):
+        with pytest.raises(ImportError, match="repro.api.Session"):
+            import repro.pipeline  # noqa: F401
+
+    def test_package_attributes_raise_with_pointer(self):
+        import repro
+
+        with pytest.raises(ImportError, match="repro.api.Session"):
+            repro.AmudPipeline  # noqa: B018
+        with pytest.raises(ImportError, match="repro.api.Session"):
+            repro.PipelineResult  # noqa: B018
+
+    def test_other_missing_attributes_stay_attribute_errors(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.NotAThing  # noqa: B018
+
+    def test_session_predictions_are_deterministic(self, heterophilous_graph):
+        # The retired facade's bit-exactness guarantee carries over: same
+        # seeds, same order of operations, same predictions.
+        first = Session(train=QUICK, amud=SGC_OR_DIRGNN).from_graph(
+            heterophilous_graph
+        ).amud().fit()
+        second = Session(train=QUICK, amud=SGC_OR_DIRGNN).from_graph(
+            heterophilous_graph
+        ).amud().fit()
+        np.testing.assert_array_equal(first.predict(), second.predict())

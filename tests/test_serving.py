@@ -1,4 +1,4 @@
-"""Serving layer: fingerprints, caches, artifacts and pipeline persistence."""
+"""Serving layer: fingerprints, caches, artifacts and legacy-artifact persistence."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,8 @@ import pytest
 from repro.models import available_models, create_model
 from repro.models.mlp import MLPClassifier
 from repro.nn.layers import MLP
-from repro.pipeline import AmudPipeline
+from repro.api import Session, TrainConfig
+from repro.api.session import decision_to_dict, train_result_to_dict
 from repro.serving import (
     InferenceServer,
     LRUCache,
@@ -237,43 +238,49 @@ class TestArtifactRoundTrip:
         assert restored.num_classes == homophilous_graph.num_classes
 
 
-class TestPipelinePersistence:
-    def test_save_load_reproduces_predictions(self, heterophilous_graph, tmp_path):
-        pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
-        result = pipeline.fit(heterophilous_graph)
-        expected = pipeline.predict()
+class TestLegacyPipelineArtifacts:
+    """Artifacts written by the removed ``AmudPipeline.save`` stay loadable."""
 
-        pipeline.save(tmp_path / "pipe")
-        reloaded = AmudPipeline.load(tmp_path / "pipe")
-        np.testing.assert_array_equal(expected, reloaded.predict())
-        assert reloaded.result.model_name == result.model_name
-        assert reloaded.result.decision.modeling == result.decision.modeling
-        assert reloaded.result.test_accuracy == pytest.approx(result.test_accuracy)
-
-    def test_save_load_preserves_configuration(self, heterophilous_graph, tmp_path):
-        trainer = Trainer(epochs=5, patience=5, lr=0.02, weight_decay=1e-3)
-        pipeline = AmudPipeline(
-            trainer=trainer, model_kwargs={"directed": {"hidden": 24}}
+    @staticmethod
+    def _write_legacy_artifact(graph, directory):
+        model = Session(train=TrainConfig(epochs=5, patience=5)).from_graph(graph).amud().fit()
+        save_model(
+            model.model,
+            directory,
+            metadata={
+                "kind": "amud-pipeline",
+                "pipeline": {
+                    "undirected_model": "GPRGNN",
+                    "directed_model": "ADPA",
+                    "threshold": 0.5,
+                    "seed": 0,
+                    "model_kwargs": {},
+                    "trainer": {
+                        "lr": 0.01, "weight_decay": 5e-4, "epochs": 5,
+                        "patience": 5, "optimizer": "adam",
+                    },
+                },
+                "model_name": model.model_name,
+                "decision": decision_to_dict(model.decision),
+                "train_result": train_result_to_dict(model.train_result),
+            },
+            graph=model.graph,
         )
-        pipeline.fit(heterophilous_graph)
-        pipeline.save(tmp_path / "pipe")
+        return model
 
-        reloaded = AmudPipeline.load(tmp_path / "pipe")
-        assert reloaded.model_kwargs == {"directed": {"hidden": 24}}
-        assert reloaded.trainer.lr == trainer.lr
-        assert reloaded.trainer.weight_decay == trainer.weight_decay
-        assert reloaded.trainer.epochs == trainer.epochs
-        assert reloaded.trainer.patience == trainer.patience
+    def test_session_restore_reproduces_predictions(self, heterophilous_graph, tmp_path):
+        model = self._write_legacy_artifact(heterophilous_graph, tmp_path / "pipe")
+        restored = Session().restore(tmp_path / "pipe")
+        np.testing.assert_array_equal(model.predict(), restored.predict())
+        assert restored.model_name == model.model_name
+        assert restored.decision.modeling == model.decision.modeling
+        assert restored.train_result.test_accuracy == pytest.approx(model.test_accuracy)
 
-    def test_save_requires_fit(self, tmp_path):
-        with pytest.raises(RuntimeError):
-            AmudPipeline().save(tmp_path / "pipe")
-
-    def test_load_rejects_plain_model_artifacts(self, homophilous_graph, tmp_path):
-        model = create_model("MLP", homophilous_graph, seed=0)
-        save_model(model, tmp_path / "plain", graph=homophilous_graph)
-        with pytest.raises(ValueError, match="pipeline"):
-            AmudPipeline.load(tmp_path / "plain")
+    def test_restored_legacy_artifact_compiles(self, heterophilous_graph, tmp_path):
+        model = self._write_legacy_artifact(heterophilous_graph, tmp_path / "pipe")
+        restored = Session().restore(tmp_path / "pipe")
+        program = restored.compile()
+        np.testing.assert_array_equal(program.run(), model.predict_logits())
 
 
 class TestPreprocessCachedContract:

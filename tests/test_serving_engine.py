@@ -173,17 +173,16 @@ class TestServingCli:
         assert "req/s" in out and "operator cache" in out
 
     def test_predict_json_matches_fresh_process_semantics(self, tmp_path, capsys):
-        """export then predict reproduces the in-memory pipeline predictions."""
+        """export then predict reproduces the in-memory predictions."""
+        from repro.api import Session, TrainConfig
         from repro.datasets import load_dataset
-        from repro.pipeline import AmudPipeline
 
         graph = load_dataset("texas", seed=0)
-        pipeline = AmudPipeline(trainer=Trainer(epochs=5, patience=5))
-        pipeline.fit(graph)
-        expected = pipeline.predict()
+        handle = Session(train=TrainConfig(epochs=5, patience=5)).from_graph(graph).amud().fit()
+        expected = handle.predict()
 
-        artifact = tmp_path / "pipe"
-        pipeline.save(artifact)
+        artifact = tmp_path / "model"
+        handle.save(artifact)
         nodes = [str(i) for i in range(graph.num_nodes)]
         assert main(["predict", str(artifact), "--json", "--nodes", *nodes]) == 0
         payload = json.loads(capsys.readouterr().out)
