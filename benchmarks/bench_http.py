@@ -1,0 +1,314 @@
+"""HTTP front-door benchmark: tail latency and load shedding under Zipf.
+
+Production graph serving is skewed: a few hot graphs take most of the
+traffic.  This benchmark builds a multi-shard router over the smallest
+synthetic datasets, exposes it through :class:`repro.serving.HttpServer`,
+and drives it with many concurrent keep-alive connections whose shard
+choice follows a Zipf distribution (``p(rank r) ∝ 1/(r+1)^alpha``).
+
+Beyond throughput, the run validates the observability layer end to end:
+
+* client-side and server-side p50/p95/p99 from the log-bucketed
+  histograms (``/stats``);
+* ``/metrics`` parses as strict Prometheus text exposition 0.0.4;
+* ``/traces`` span timings (queue / cache / forward / deliver) sum to each
+  request's end-to-end latency;
+* 429 responses are counted when back-pressure slots run out — shedding,
+  not queue collapse.
+
+Results land in ``BENCH_http.json`` (quick mode included, flagged), the
+machine-readable trail CI archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import DATASET_CONFIGS
+from repro.models.registry import create_model
+from repro.obs import parse_prometheus
+from repro.serving import HttpServer, ShardRouter
+from repro.training import Trainer
+
+from helpers import print_banner, write_bench_json
+
+#: Zipf exponent of the shard-popularity skew.
+ZIPF_ALPHA = 1.1
+
+CONNECTIONS = 1024
+REQUESTS = 8192
+QUICK_CONNECTIONS = 32
+QUICK_REQUESTS = 256
+
+#: deliberately small so the full run actually sheds load (429s).
+MAX_PENDING = 64
+
+#: tolerance (ms) between a trace's span sum and its reported total.
+SPAN_SUM_TOLERANCE_MS = 1e-3
+
+
+def smallest_datasets(count: int) -> list:
+    """The ``count`` smallest registered synthetic datasets, by node count."""
+    ordered = sorted(DATASET_CONFIGS, key=lambda name: DATASET_CONFIGS[name].num_nodes)
+    return ordered[:count]
+
+
+def zipf_weights(count: int, alpha: float = ZIPF_ALPHA) -> np.ndarray:
+    weights = 1.0 / np.power(np.arange(1, count + 1), alpha)
+    return weights / weights.sum()
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple:
+    """Minimal HTTP/1.1 response reader (status, body) for keep-alive use."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _drive(host: str, port: int, jobs: list, connections: int) -> dict:
+    """Spread ``jobs`` over ``connections`` keep-alive clients; gather counts."""
+    latencies: list = []
+    counts: dict = {}
+
+    async def worker(assigned: list) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for shard, node_ids in assigned:
+                body = json.dumps({"node_ids": node_ids, "shard": shard}).encode()
+                head = (
+                    "POST /predict HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                start = time.perf_counter()
+                writer.write(head + body)
+                await writer.drain()
+                status, _ = await _read_response(reader)
+                elapsed = time.perf_counter() - start
+                counts[status] = counts.get(status, 0) + 1
+                if status == 200:
+                    latencies.append(elapsed)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    buckets = [jobs[index::connections] for index in range(connections)]
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(bucket) for bucket in buckets if bucket))
+    elapsed = time.perf_counter() - started
+    return {"latencies": latencies, "counts": counts, "elapsed_s": elapsed}
+
+
+async def _get(host: str, port: int, path: str) -> tuple:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def build_http_profile(quick: bool = False) -> dict:
+    """Serve Zipf-skewed /predict load and read back the observability stack."""
+    connections = QUICK_CONNECTIONS if quick else CONNECTIONS
+    total_requests = QUICK_REQUESTS if quick else REQUESTS
+    datasets = smallest_datasets(2 if quick else 3)
+
+    router = ShardRouter(max_pending=MAX_PENDING, max_wait_ms=1.0)
+    graphs = {}
+    for dataset in datasets:
+        graph = load_dataset(dataset, seed=0)
+        model = create_model("MLP", graph, seed=0, hidden=16)
+        Trainer(epochs=2, patience=5).fit(model, graph)
+        router.add_shard(model, graph, name=dataset)
+        graphs[dataset] = graph
+
+    # Zipf-skewed shard choice and random node subsets, fixed ahead of the
+    # clock so request generation costs nothing during the timed run.
+    rng = np.random.default_rng(0)
+    weights = zipf_weights(len(datasets))
+    picks = rng.choice(len(datasets), size=total_requests, p=weights)
+    jobs = []
+    for pick in picks:
+        dataset = datasets[pick]
+        size = min(16, graphs[dataset].num_nodes)
+        ids = rng.choice(graphs[dataset].num_nodes, size=size, replace=False)
+        jobs.append((dataset, ids.tolist()))
+
+    with router, HttpServer(router, port=0) as server:
+        outcome = asyncio.run(_drive(server.host, server.port, jobs, connections))
+        stats_status, stats_body = asyncio.run(_get(server.host, server.port, "/stats"))
+        metrics_status, metrics_body = asyncio.run(
+            _get(server.host, server.port, "/metrics")
+        )
+        traces_status, traces_body = asyncio.run(
+            _get(server.host, server.port, "/traces?limit=50")
+        )
+
+    latencies_ms = 1e3 * np.asarray(outcome["latencies"] or [0.0])
+    counts = outcome["counts"]
+    ok = counts.get(200, 0)
+    shed = counts.get(429, 0)
+    errors = sum(count for status, count in counts.items() if status not in (200, 429))
+
+    snapshot = json.loads(stats_body)
+    server_latency = snapshot["latency"]
+
+    metrics_valid = False
+    metrics_families = 0
+    if metrics_status == 200:
+        families = parse_prometheus(metrics_body.decode("utf-8"))
+        metrics_families = len(families)
+        metrics_valid = (
+            "repro_router_submitted_total" in families
+            and "repro_http_requests_total" in families
+            and any(name.startswith("repro_router_shard_latency_ms") for name in families)
+        )
+
+    traces = json.loads(traces_body)["traces"] if traces_status == 200 else []
+    spans_checked = 0
+    spans_ok = bool(traces)
+    for trace in traces:
+        gap = abs(sum(trace["spans"].values()) - trace["total_ms"])
+        spans_checked += 1
+        if gap > SPAN_SUM_TOLERANCE_MS:
+            spans_ok = False
+
+    per_shard = {
+        name: shard["requests"] for name, shard in snapshot["shards"].items()
+    }
+    return {
+        "quick": quick,
+        "datasets": datasets,
+        "zipf_alpha": ZIPF_ALPHA,
+        "connections": connections,
+        "requests": total_requests,
+        "max_pending": MAX_PENDING,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "elapsed_s": outcome["elapsed_s"],
+        "throughput_rps": ok / outcome["elapsed_s"] if outcome["elapsed_s"] else 0.0,
+        "client_p50_ms": float(np.percentile(latencies_ms, 50)),
+        "client_p95_ms": float(np.percentile(latencies_ms, 95)),
+        "client_p99_ms": float(np.percentile(latencies_ms, 99)),
+        "server_p50_ms": server_latency["p50_ms"],
+        "server_p95_ms": server_latency["p95_ms"],
+        "server_p99_ms": server_latency["p99_ms"],
+        "server_mean_ms": server_latency["mean_ms"],
+        "per_shard_requests": per_shard,
+        "http": snapshot["http"],
+        "metrics_valid": metrics_valid,
+        "metrics_families": metrics_families,
+        "traces_checked": spans_checked,
+        "spans_ok": spans_ok,
+    }
+
+
+def check_http_profile(profile: dict) -> None:
+    # The server answered real traffic, and nothing failed outright: every
+    # non-200 must be deliberate shedding, not an error class.
+    assert profile["ok"] > 0, profile
+    assert profile["errors"] == 0, profile
+    assert profile["ok"] + profile["shed"] == profile["requests"], profile
+    # Non-degenerate, ordered tail quantiles from the server histogram.
+    assert profile["server_p50_ms"] > 0, profile
+    assert profile["server_p50_ms"] <= profile["server_p95_ms"] <= profile["server_p99_ms"], profile
+    # /metrics is strict Prometheus exposition with the expected families.
+    assert profile["metrics_valid"], profile
+    # Zipf skew reached the shards: the hottest strictly beats the coldest.
+    shard_counts = sorted(profile["per_shard_requests"].values())
+    if profile["ok"] > 100:
+        assert shard_counts[-1] > shard_counts[0], profile
+    # Trace spans account exactly for each request's end-to-end latency.
+    assert profile["traces_checked"] > 0, profile
+    assert profile["spans_ok"], profile
+
+
+def format_http_table(profile: dict) -> str:
+    lines = [
+        f"{profile['connections']} connections, {profile['requests']} requests over "
+        f"{len(profile['datasets'])} shards (Zipf alpha={profile['zipf_alpha']})",
+        f"{'outcome':<26s}{'count':>10s}",
+        f"{'200 ok':<26s}{profile['ok']:>10d}",
+        f"{'429 shed':<26s}{profile['shed']:>10d}",
+        f"{'errors':<26s}{profile['errors']:>10d}",
+        f"throughput: {profile['throughput_rps']:.1f} req/s over {profile['elapsed_s']:.3f}s",
+        f"{'quantile':<12s}{'client ms':>12s}{'server ms':>12s}",
+    ]
+    for quantile in ("p50", "p95", "p99"):
+        lines.append(
+            f"{quantile:<12s}{profile[f'client_{quantile}_ms']:>12.3f}"
+            f"{profile[f'server_{quantile}_ms']:>12.3f}"
+        )
+    shards = ", ".join(
+        f"{name}={count}" for name, count in sorted(
+            profile["per_shard_requests"].items(), key=lambda item: -item[1]
+        )
+    )
+    lines.append(f"per-shard requests: {shards}")
+    lines.append(
+        f"/metrics: {'valid' if profile['metrics_valid'] else 'INVALID'} "
+        f"({profile['metrics_families']} families)  "
+        f"/traces: {profile['traces_checked']} span sums "
+        f"{'exact' if profile['spans_ok'] else 'BROKEN'}"
+    )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="http")
+def test_http_front_door(benchmark):
+    profile = benchmark.pedantic(build_http_profile, rounds=1, iterations=1)
+    print_banner(
+        f"HTTP front door — Zipf load over {len(profile['datasets'])} shards"
+    )
+    print(format_http_table(profile))
+    path = write_bench_json("http", profile)
+    print(f"wrote {path}")
+    check_http_profile(profile)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="HTTP front-door benchmark")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer connections/requests, two shards",
+    )
+    cli_args = parser.parse_args()
+    result = build_http_profile(quick=cli_args.quick)
+    print(format_http_table(result))
+    # Written in quick mode too (flagged via the payload's "quick" field):
+    # the CI artifact is the point of the smoke run.
+    path = write_bench_json("http", result)
+    print(f"wrote {path}")
+    check_http_profile(result)

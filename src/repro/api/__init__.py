@@ -25,6 +25,7 @@ from .config import (
     SWEEP_VIEWS,
     AmudConfig,
     ExperimentConfig,
+    HttpConfig,
     ServeConfig,
     SweepSpec,
     TrainConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "TrainConfig",
     "AmudConfig",
     "ServeConfig",
+    "HttpConfig",
     "ExperimentConfig",
     "SweepSpec",
     "RunReport",

@@ -146,6 +146,44 @@ class AmudConfig:
 
 
 @dataclass(frozen=True)
+class HttpConfig:
+    """Bind address and body/time limits for the HTTP front door.
+
+    ``port=0`` asks the OS for a free port (the bound one is published on
+    the running :class:`repro.serving.HttpServer`), which is how tests and
+    benchmarks avoid collisions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    max_body_bytes: int = 1 << 20
+    request_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {self.max_body_bytes}")
+        if self.request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {self.request_timeout}")
+
+    def server_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for :class:`repro.serving.HttpServer`."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "max_body_bytes": self.max_body_bytes,
+            "request_timeout": self.request_timeout,
+        }
+
+    def replace(self, **changes) -> "HttpConfig":
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Serving limits shared by the single engine and the shard router."""
 
@@ -162,10 +200,17 @@ class ServeConfig:
     #: eager fallback on failure, ``"trace"`` retries every miss,
     #: ``"eager"`` disables compilation entirely.
     compile: str = "auto"
+    #: optional HTTP front-door settings; ``Session.serve_http`` uses the
+    #: defaults when this is ``None``.
+    http: Optional[HttpConfig] = None
 
     def __post_init__(self) -> None:
         from ..serving.trace import COMPILE_MODES
 
+        if self.http is not None and not isinstance(self.http, HttpConfig):
+            raise TypeError(
+                f"http must be an HttpConfig or None, got {type(self.http).__name__}"
+            )
         if self.compile not in COMPILE_MODES:
             raise ValueError(
                 f"unknown compile mode {self.compile!r}; expected one of {COMPILE_MODES}"

@@ -38,10 +38,18 @@ from ..models.base import NodeClassifier
 from ..models.registry import create_model, get_spec
 from ..serving.artifacts import ModelArtifact, restore_model, save_model
 from ..serving.engine import InferenceServer
+from ..serving.http import HttpServer
 from ..serving.router import ShardRouter
 from ..serving.trace import TracedProgram, compile_forward
 from ..training.trainer import Trainer, TrainResult
-from .config import AmudConfig, ExperimentConfig, ServeConfig, SweepSpec, TrainConfig
+from .config import (
+    AmudConfig,
+    ExperimentConfig,
+    HttpConfig,
+    ServeConfig,
+    SweepSpec,
+    TrainConfig,
+)
 from .experiment import execute_repeated, run_sweep
 from .report import ExperimentReport, SweepReport
 
@@ -225,6 +233,50 @@ class Session:
             else:
                 router.add_artifact(source)
         return router
+
+    def serve_http(
+        self,
+        *sources: Union["ModelHandle", PathLike],
+        config: Optional[ServeConfig] = None,
+        http: Optional[HttpConfig] = None,
+        cache_dir: Optional[PathLike] = None,
+    ) -> HttpServer:
+        """Build (un-started) the HTTP front door over a :meth:`serve` router.
+
+        Starting the returned :class:`repro.serving.HttpServer` starts the
+        underlying router too, and stopping it stops both — one
+        ``with session.serve_http(...) as server:`` block owns the whole
+        stack.  ``http`` overrides the bind address and limits; it defaults
+        to ``config.http`` and then to :class:`HttpConfig`'s defaults.
+        """
+        config = config if config is not None else self.serve_config
+        if http is None:
+            http = config.http if config.http is not None else HttpConfig()
+        router = self.serve(*sources, config=config, cache_dir=cache_dir)
+        return _SessionHttpServer(router, **http.server_kwargs())
+
+
+class _SessionHttpServer(HttpServer):
+    """An :class:`HttpServer` owning its router's lifecycle.
+
+    :meth:`Session.serve_http` builds the router internally, so nobody
+    else can start or stop it; binding both lifecycles here keeps the
+    public surface to one object.
+    """
+
+    def start(self) -> "HttpServer":
+        self.router.start()
+        try:
+            return super().start()
+        except BaseException:
+            self.router.stop()
+            raise
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        try:
+            super().stop(timeout)
+        finally:
+            self.router.stop()
 
 
 @dataclass

@@ -17,6 +17,11 @@ programs and the serving front door all drive the same
 ``python -m repro.cli predict <artifact-dir>``
     Reload an artifact in a fresh process and predict.
 
+``python -m repro.cli serve <artifact-dir> [<artifact-dir> ...]``
+    Serve one or many artifacts over HTTP (``/predict``, ``/stats``,
+    ``/metrics``, ``/traces``) until interrupted; 429 load shedding at the
+    back-pressure limit.
+
 ``python -m repro.cli serve-bench <artifact-dir> [<artifact-dir> ...]``
     Drive one or many artifacts through the shard-router front door under
     concurrent load; ``--cache-dir`` persists the operator cache across
@@ -48,7 +53,7 @@ from typing import List, Optional
 import numpy as np
 
 from .amud import amud_decide
-from .api import ServeConfig, Session, SweepSpec, TrainConfig, width_kwargs
+from .api import HttpConfig, ServeConfig, Session, SweepSpec, TrainConfig, width_kwargs
 from .datasets import dataset_config, list_datasets
 from .metrics import accuracy, homophily_report
 from .models import available_models, get_spec
@@ -142,6 +147,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compile", action=argparse.BooleanOptionalAction, default=False,
         help="replay a traced grad-free program instead of the eager forward "
              "(--compile traces + validates, --no-compile stays eager)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve one or many artifacts over HTTP until interrupted",
+    )
+    serve_parser.add_argument(
+        "artifacts", nargs="+", metavar="artifact",
+        help="artifact director(ies) written by 'export'; several become router shards",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8100,
+        help="bind port (0 picks a free one and prints it)",
+    )
+    serve_parser.add_argument("--batch-size", type=int, default=64, help="server micro-batch cap")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0, help="coalescing window")
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=256,
+        help="back-pressure: requests beyond this answer 429 instead of queueing",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="operator-cache spill directory warmed before the artifacts load",
+    )
+    serve_parser.add_argument(
+        "--compile", action=argparse.BooleanOptionalAction, default=None,
+        help="forward compilation on cache-miss traffic (default 'auto')",
+    )
+    serve_parser.add_argument(
+        "--for-seconds", type=float, default=None,
+        help="serve for a fixed duration then exit (smoke tests); "
+             "default serves until Ctrl-C",
     )
 
     bench_parser = subparsers.add_parser(
@@ -336,6 +374,46 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
+    session = Session(
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            router_max_pending=args.max_pending,
+            compile=compile_mode,
+        )
+    )
+    try:
+        server = session.serve_http(
+            *args.artifacts,
+            http=HttpConfig(host=args.host, port=args.port),
+            cache_dir=args.cache_dir,
+        )
+    except _ARTIFACT_ERRORS as error:
+        return _artifact_error(" | ".join(args.artifacts), error)
+    with server:
+        shards = server.router.shards()
+        print(f"serving {len(shards)} shard(s) at {server.url}")
+        for shard in shards:
+            print(f"  {shard.name}: {shard.model_name} on {shard.engine.graph.name}")
+        print("endpoints: POST /predict | GET /health /shards /stats /metrics /traces")
+        try:
+            if args.for_seconds is not None:
+                time.sleep(args.for_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    stats = server.stats()
+    print(
+        f"served {stats.requests} request(s) over {stats.connections} "
+        f"connection(s), shed {stats.shed}"
+    )
+    return 0
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
     compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
     session = Session(
@@ -494,6 +572,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _command_train,
         "export": _command_export,
         "predict": _command_predict,
+        "serve": _command_serve,
         "serve-bench": _command_serve_bench,
         "experiment": _command_experiment,
         "datasets": _command_datasets,

@@ -13,7 +13,10 @@ Takes any trained registry model or :class:`repro.api.ModelHandle` from
   stats protocol every component speaks;
 * :mod:`repro.serving.engine` — the micro-batching :class:`InferenceServer`;
 * :mod:`repro.serving.router` — the multi-artifact :class:`ShardRouter`
-  front door with sync ``submit`` and asyncio ``asubmit``.
+  front door with sync ``submit`` and asyncio ``asubmit``;
+* :mod:`repro.serving.http` — the stdlib-asyncio :class:`HttpServer`
+  exposing a router over HTTP (``/predict``, ``/stats``, ``/metrics``,
+  ``/traces``) with 429 load shedding.
 """
 
 from .artifacts import (
@@ -24,13 +27,14 @@ from .artifacts import (
     restore_model,
     save_model,
 )
-from .cache import CacheStats, LRUCache, OperatorCache
+from .cache import CacheStats, LRUCache, OperatorCache, OperatorCacheStats
 from .engine import (
     InferenceServer,
     InferenceTicket,
     ServerOverloaded,
     ServerStats,
 )
+from .http import HttpServer, HttpStats
 from .fingerprint import (
     array_digest,
     graph_fingerprint,
@@ -60,6 +64,9 @@ __all__ = [
     "LRUCache",
     "OperatorCache",
     "CacheStats",
+    "OperatorCacheStats",
+    "HttpServer",
+    "HttpStats",
     "InferenceServer",
     "InferenceTicket",
     "ServerOverloaded",

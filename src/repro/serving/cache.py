@@ -23,14 +23,16 @@ import hashlib
 import json
 import threading
 import zipfile
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs.histogram import HistogramStats, LatencyHistogram
 from .fingerprint import preprocess_key
 from .stats import Stats, StatsSource
 
@@ -62,6 +64,19 @@ class CacheStats(Stats):
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass
+class OperatorCacheStats(CacheStats):
+    """Cache counters plus the ``preprocess()`` call-latency histogram.
+
+    Every call is recorded — hits and misses alike — so the distribution is
+    bimodal by construction: a floor of near-zero hit lookups under a tail
+    of full sparse-precompute misses.  The p99/hit-rate pair makes cache
+    sizing decisions directly readable from ``/stats``.
+    """
+
+    preprocess_latency: HistogramStats = field(default_factory=HistogramStats)
 
 
 class LRUCache(StatsSource):
@@ -281,10 +296,18 @@ class OperatorCache(StatsSource):
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self._cache = LRUCache(capacity)
+        self._preprocess_latency = LatencyHistogram()
 
     def preprocess(self, model, graph) -> Dict[str, object]:
-        """Return the cached preprocess result, computing it on first use."""
-        return model.preprocess_cached(graph, self._cache)
+        """Return the cached preprocess result, computing it on first use.
+
+        Every call is timed into the ``preprocess_latency`` histogram, hits
+        included, so the snapshot shows the bimodal hit/miss split."""
+        started = time.perf_counter()
+        try:
+            return model.preprocess_cached(graph, self._cache)
+        finally:
+            self._preprocess_latency.record_seconds(time.perf_counter() - started)
 
     def lookup(self, model, graph) -> Optional[Dict[str, object]]:
         """Peek without computing; ``None`` on a miss."""
@@ -308,8 +331,16 @@ class OperatorCache(StatsSource):
     def clear(self) -> None:
         self._cache.clear()
 
-    def stats(self) -> CacheStats:
-        return self._cache.stats()
+    def stats(self) -> OperatorCacheStats:
+        counters = self._cache.stats()
+        return OperatorCacheStats(
+            hits=counters.hits,
+            misses=counters.misses,
+            evictions=counters.evictions,
+            size=counters.size,
+            capacity=counters.capacity,
+            preprocess_latency=self._preprocess_latency.stats(),
+        )
 
     # ------------------------------------------------------------------ #
     # On-disk persistence

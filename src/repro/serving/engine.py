@@ -13,9 +13,14 @@ thread that
    graph (preprocess served from the shared :class:`OperatorCache`),
 4. fans the logit rows back out to each request's ticket.
 
-Per-request latency and batch/forward counters are tracked so the
-``serve-bench`` CLI and :mod:`benchmarks.bench_serving` can report
-throughput under load.
+Observability is built in: per-request latencies stream into a bounded
+log-bucketed :class:`repro.obs.LatencyHistogram` (exact mean/max plus
+p50/p95/p99 readout, O(1) per request — no latency list that grows with
+traffic), every ticket carries a :class:`repro.obs.RequestTrace` whose
+queue / cache / forward / deliver spans account exactly for its
+end-to-end latency, and completed traces land in a bounded ring buffer
+(:meth:`InferenceServer.recent_traces`) for post-hoc debugging of slow
+requests.
 """
 
 from __future__ import annotations
@@ -24,8 +29,7 @@ import queue
 import threading
 import time
 import traceback
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,6 +37,8 @@ import numpy as np
 
 from ..graph.digraph import DirectedGraph
 from ..models.base import NodeClassifier
+from ..obs.histogram import HistogramStats, LatencyHistogram
+from ..obs.spans import RequestTrace, TraceBuffer
 from .artifacts import ModelArtifact, restore_model
 from .cache import CacheStats, LRUCache, OperatorCache
 from .fingerprint import state_fingerprint
@@ -41,9 +47,6 @@ from .trace import COMPILE_MODES, TraceCache, TraceCacheStats
 
 #: queue sentinel telling the worker thread to exit.
 _STOP = object()
-
-#: how many completed-request latencies the rolling window keeps.
-LATENCY_WINDOW = 10_000
 
 
 class ServerOverloaded(RuntimeError):
@@ -62,6 +65,12 @@ class InferenceTicket:
         self.node_ids = node_ids
         self.graph = graph
         self.enqueued_at = time.perf_counter()
+        #: stage spans (queue / cache / forward / deliver) on the same
+        #: clock as ``enqueued_at``; populated by the worker as the
+        #: request moves through the pipeline.
+        self.trace = RequestTrace(started_at=self.enqueued_at)
+        if node_ids is not None:
+            self.trace.annotate("nodes", int(node_ids.size))
         self.latency_seconds: Optional[float] = None
         self._done = threading.Event()
         self._predictions: Optional[np.ndarray] = None
@@ -76,6 +85,8 @@ class InferenceTicket:
         self._logits = logits
         self._predictions = logits.argmax(axis=1)
         self.latency_seconds = time.perf_counter() - self.enqueued_at
+        self.trace.mark("deliver")
+        self.trace.annotate("outcome", "ok")
         self._done.set()
         self._fire_callbacks()
 
@@ -84,6 +95,9 @@ class InferenceTicket:
             return
         self._error = error
         self.latency_seconds = time.perf_counter() - self.enqueued_at
+        self.trace.mark("deliver")
+        self.trace.annotate("outcome", "error")
+        self.trace.annotate("error", type(error).__name__)
         self._done.set()
         self._fire_callbacks()
 
@@ -131,10 +145,26 @@ class InferenceTicket:
             raise RuntimeError("request has not completed successfully")
         return self._logits
 
+    def spans(self) -> Dict[str, float]:
+        """Per-stage timings (ms) of the completed request.
+
+        Keys are ``queue`` / ``cache`` / ``forward`` / ``deliver``; the
+        values sum to the trace's ``total_ms`` by construction.
+        """
+        return self.trace.spans()
+
 
 @dataclass
 class ServerStats(Stats):
-    """Point-in-time serving counters (see :class:`repro.serving.stats.Stats`)."""
+    """Point-in-time serving counters (see :class:`repro.serving.stats.Stats`).
+
+    ``mean_latency_ms``/``max_latency_ms`` keep their historical meaning
+    (exact values, tracked alongside the histogram); ``latency`` carries
+    the full log-bucketed distribution, from which the derived
+    ``p50/p95/p99_latency_ms`` tails are read.
+    """
+
+    derived = ("p50_latency_ms", "p95_latency_ms", "p99_latency_ms")
 
     requests: int
     batches: int
@@ -146,8 +176,22 @@ class ServerStats(Stats):
     requests_per_second: float
     cache: CacheStats
     logit_cache: CacheStats
+    #: full request-latency distribution (log-spaced buckets, mergeable).
+    latency: HistogramStats = field(default_factory=HistogramStats)
     #: shared-trace-cache counters; ``None`` on an eager-only server.
     trace: Optional[TraceCacheStats] = None
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency.p50_ms
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency.p95_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency.p99_ms
 
 
 class InferenceServer(StatsSource):
@@ -237,7 +281,11 @@ class InferenceServer(StatsSource):
         self._requests = 0
         self._batches = 0
         self._forwards = 0
-        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        # Bounded observability state: a fixed-bucket histogram instead of
+        # a latency list that scales with traffic, and a ring of recent
+        # request traces for debugging tail latencies.
+        self._latency = LatencyHistogram()
+        self._trace_log = TraceBuffer()
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -403,8 +451,8 @@ class InferenceServer(StatsSource):
 
     def stats(self) -> ServerStats:
         with self._metrics_lock:
-            latencies = list(self._latencies)
             requests, batches, forwards = self._requests, self._batches, self._forwards
+        latency = self._latency.stats()
         uptime = (
             time.perf_counter() - self._started_at if self._started_at is not None else 0.0
         )
@@ -413,14 +461,19 @@ class InferenceServer(StatsSource):
             batches=batches,
             forwards=forwards,
             mean_batch_size=requests / batches if batches else 0.0,
-            mean_latency_ms=1e3 * float(np.mean(latencies)) if latencies else 0.0,
-            max_latency_ms=1e3 * float(np.max(latencies)) if latencies else 0.0,
+            mean_latency_ms=latency.mean_ms,
+            max_latency_ms=latency.max_ms,
             uptime_seconds=uptime,
             requests_per_second=requests / uptime if uptime > 0 else 0.0,
             cache=self.cache.stats(),
             logit_cache=self._logit_cache.stats(),
+            latency=latency,
             trace=self._trace_cache.stats() if self._trace_cache is not None else None,
         )
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Most-recent-first span dicts of completed requests (bounded ring)."""
+        return self._trace_log.snapshot(limit)
 
     @property
     def trace_cache(self) -> Optional["TraceCache"]:
@@ -484,9 +537,13 @@ class InferenceServer(StatsSource):
                 break
 
     def _process_batch(self, batch: List[InferenceTicket]) -> None:
+        # One shared timestamp closes every ticket's queue span: they all
+        # left the queue when this batch started processing.
+        dequeued_at = time.perf_counter()
         groups: Dict[str, List[InferenceTicket]] = {}
         graphs: Dict[str, DirectedGraph] = {}
         for ticket in batch:
+            ticket.trace.mark("queue", dequeued_at)
             key = ticket.graph.fingerprint()
             groups.setdefault(key, []).append(ticket)
             graphs.setdefault(key, ticket.graph)
@@ -513,9 +570,11 @@ class InferenceServer(StatsSource):
                             self.model.signature(),
                             self._weights_version,
                         )
+                    cache_done = time.perf_counter()
                     logits = None
                     if self._trace_cache is not None:
                         logits = self._compiled_logits(key, graph, cache)
+                    path = "compiled" if logits is not None else "eager"
                     if logits is None:
                         logits = self.model.predict_logits(graph, cache)
                     forwards += 1
@@ -525,11 +584,19 @@ class InferenceServer(StatsSource):
                         # corrupt the cached copy served to later requests.
                         logits.setflags(write=False)
                         self._logit_cache.put((*self._logit_key_prefix, key), logits)
+                    forward_done = time.perf_counter()
+                else:
+                    # Memoised hit: the whole compute stage was a dict read.
+                    cache_done = forward_done = time.perf_counter()
+                    path = "memoised"
             except BaseException as error:  # fan the failure out, keep serving
                 for ticket in tickets:
                     ticket._fail(error)
                 continue
             for ticket in tickets:
+                ticket.trace.mark("cache", cache_done)
+                ticket.trace.mark("forward", forward_done)
+                ticket.trace.annotate("path", path)
                 try:
                     rows = logits if ticket.node_ids is None else logits[ticket.node_ids]
                     ticket._complete(rows)
@@ -540,6 +607,7 @@ class InferenceServer(StatsSource):
             self._requests += len(batch)
             self._batches += 1
             self._forwards += forwards
-            for ticket in batch:
-                if ticket.latency_seconds is not None:
-                    self._latencies.append(ticket.latency_seconds)
+        for ticket in batch:
+            if ticket.latency_seconds is not None:
+                self._latency.record_seconds(ticket.latency_seconds)
+                self._trace_log.append(ticket.trace.as_dict())

@@ -30,7 +30,7 @@ import asyncio
 import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -38,6 +38,7 @@ import numpy as np
 
 from ..graph.digraph import DirectedGraph
 from ..models.base import NodeClassifier
+from ..obs.histogram import HistogramStats
 from .artifacts import ModelArtifact, restore_model
 from .cache import LRUCache, OperatorCache
 from .engine import InferenceServer, InferenceTicket, ServerOverloaded, ServerStats
@@ -77,13 +78,30 @@ class ShardInfo:
 class RouterStats(Stats):
     """Front-door counters plus a per-shard engine snapshot."""
 
+    derived = ("p50_latency_ms", "p95_latency_ms", "p99_latency_ms")
+
     submitted: int
     rejected: int
     max_pending: int
     shards: Dict[str, ServerStats]
+    #: router-wide request latency: the per-shard engine histograms merged
+    #: bucket-by-bucket, so the quantiles cover every shard's traffic.
+    latency: HistogramStats = field(default_factory=HistogramStats)
     #: counters of the trace cache shared by every shard (``None`` when
     #: the router serves eagerly).
     trace: Optional[TraceCacheStats] = None
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency.p50_ms
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency.p95_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency.p99_ms
 
 
 class ShardRouter(StatsSource):
@@ -175,11 +193,17 @@ class ShardRouter(StatsSource):
         )
         with self._lock:
             if name is None:
-                index = len(self._shards)
-                name = f"shard-{index}"
-                while name in self._shards:  # an explicit name may sit on shard-N
-                    index += 1
+                # Prefer the graph's dataset name — the natural routing key
+                # for HTTP clients (`/predict {"shard": "texas"}`) — unless
+                # it is the DirectedGraph default or already registered.
+                if graph.name and graph.name != "graph" and graph.name not in self._shards:
+                    name = graph.name
+                else:
+                    index = len(self._shards)
                     name = f"shard-{index}"
+                    while name in self._shards:  # an explicit name may sit on shard-N
+                        index += 1
+                        name = f"shard-{index}"
             if name in self._shards:
                 raise ValueError(f"shard name {name!r} is already registered")
             self._shards[name] = ShardInfo(
@@ -262,13 +286,32 @@ class ShardRouter(StatsSource):
         with self._lock:
             shards = dict(self._shards)
             submitted, rejected = self._submitted, self._rejected
+        shard_stats = {name: info.engine.stats() for name, info in shards.items()}
         return RouterStats(
             submitted=submitted,
             rejected=rejected,
             max_pending=self.max_pending,
-            shards={name: info.engine.stats() for name, info in shards.items()},
+            shards=shard_stats,
+            latency=HistogramStats.merged(s.latency for s in shard_stats.values()),
             trace=self._trace_cache.stats() if self._trace_cache is not None else None,
         )
+
+    def recent_traces(self, limit: Optional[int] = 50) -> List[Dict[str, object]]:
+        """Most-recent-first request traces across every shard.
+
+        Each trace dict gains a ``shard`` key naming the engine that served
+        it; ordering merges the per-engine ring buffers by submission time.
+        """
+        with self._lock:
+            shards = list(self._shards.values())
+        traces: List[Dict[str, object]] = []
+        for info in shards:
+            for trace in info.engine.recent_traces():
+                entry = dict(trace)
+                entry["shard"] = info.name
+                traces.append(entry)
+        traces.sort(key=lambda entry: entry.get("started_at", 0.0), reverse=True)
+        return traces if limit is None else traces[: max(0, limit)]
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -330,6 +373,16 @@ class ShardRouter(StatsSource):
             raise UnknownShard(
                 f"router serves {len(self._shards)} shards; pass graph= or shard= to route"
             )
+
+    def resolve(
+        self, graph: Optional[DirectedGraph] = None, shard: Optional[str] = None
+    ) -> ShardInfo:
+        """Apply the routing rules without submitting anything.
+
+        Front-ends use this to validate a request's target — raising
+        :class:`UnknownShard` with the full routing diagnostics — before
+        paying for a slot."""
+        return self._resolve(graph, shard)
 
     # ------------------------------------------------------------------ #
     # Front door
@@ -393,12 +446,58 @@ class ShardRouter(StatsSource):
         """
         return self.submit(node_ids, graph, shard=shard, timeout=timeout).result(timeout)
 
+    async def asubmit_ticket(
+        self,
+        node_ids: Optional[Sequence[int]] = None,
+        graph: Optional[DirectedGraph] = None,
+        *,
+        shard: Optional[str] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> InferenceTicket:
+        """Async submit resolving to the *completed* ticket.
+
+        The HTTP front door uses this instead of :meth:`asubmit` because the
+        ticket carries more than the predictions: the trace spans and
+        latency that go into the response payload.  The returned ticket is
+        already done — ``ticket.result(timeout=0)`` never blocks (it raises
+        the request's failure, if any).  ``block=False`` makes a saturated
+        front door raise :class:`ServerOverloaded` immediately, which the
+        HTTP layer maps to 429.
+        """
+        loop = asyncio.get_running_loop()
+        submit = functools.partial(
+            self.submit, node_ids, graph, shard=shard, block=block, timeout=timeout
+        )
+        with self._lock:
+            if self._submit_executor is None:
+                self._submit_executor = ThreadPoolExecutor(
+                    max_workers=min(32, self.max_pending),
+                    thread_name_prefix="shard-router-submit",
+                )
+            executor = self._submit_executor
+        ticket = await loop.run_in_executor(executor, submit)
+        future: "asyncio.Future[InferenceTicket]" = loop.create_future()
+
+        def resolve(completed: InferenceTicket) -> None:
+            def apply() -> None:
+                if not future.cancelled():
+                    future.set_result(completed)
+
+            loop.call_soon_threadsafe(apply)
+
+        ticket.add_done_callback(resolve)
+        if timeout is not None:
+            return await asyncio.wait_for(future, timeout)
+        return await future
+
     async def asubmit(
         self,
         node_ids: Optional[Sequence[int]] = None,
         graph: Optional[DirectedGraph] = None,
         *,
         shard: Optional[str] = None,
+        block: bool = True,
         timeout: Optional[float] = None,
     ) -> np.ndarray:
         """Async front door: await the routed request's predictions.
@@ -409,35 +508,11 @@ class ShardRouter(StatsSource):
         blocking the event loop or starving other ``run_in_executor`` users,
         and the slot is held until the prediction resolves.  ``timeout``
         bounds each phase separately: a saturated front door raises
-        :class:`ServerOverloaded` after ``timeout`` seconds, and a routed
-        request that misses its deadline raises ``asyncio.TimeoutError``.
+        :class:`ServerOverloaded` after ``timeout`` seconds (immediately
+        with ``block=False``), and a routed request that misses its deadline
+        raises ``asyncio.TimeoutError``.
         """
-        loop = asyncio.get_running_loop()
-        submit = functools.partial(
-            self.submit, node_ids, graph, shard=shard, timeout=timeout
+        ticket = await self.asubmit_ticket(
+            node_ids, graph, shard=shard, block=block, timeout=timeout
         )
-        with self._lock:
-            if self._submit_executor is None:
-                self._submit_executor = ThreadPoolExecutor(
-                    max_workers=min(32, self.max_pending),
-                    thread_name_prefix="shard-router-submit",
-                )
-            executor = self._submit_executor
-        ticket = await loop.run_in_executor(executor, submit)
-        future: "asyncio.Future[np.ndarray]" = loop.create_future()
-
-        def resolve(completed: InferenceTicket) -> None:
-            def apply() -> None:
-                if future.cancelled():
-                    return
-                try:
-                    future.set_result(completed.result(timeout=0))
-                except BaseException as error:
-                    future.set_exception(error)
-
-            loop.call_soon_threadsafe(apply)
-
-        ticket.add_done_callback(resolve)
-        if timeout is not None:
-            return await asyncio.wait_for(future, timeout)
-        return await future
+        return ticket.result(timeout=0)

@@ -1,0 +1,307 @@
+"""Tests for the HTTP front door: endpoints, error paths, load shedding."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.models.registry import create_model
+from repro.obs import parse_prometheus
+from repro.serving import HttpServer, ShardRouter
+from repro.training import Trainer
+
+MAX_PENDING = 8
+MAX_BODY = 4096
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A two-shard router behind a live HTTP server on an ephemeral port."""
+    shards = {}
+    expected = {}
+    router = ShardRouter(max_pending=MAX_PENDING, max_wait_ms=0.5)
+    for dataset in ("texas", "cornell"):
+        graph = load_dataset(dataset, seed=0)
+        model = create_model("MLP", graph, seed=0, hidden=8)
+        Trainer(epochs=2, patience=5).fit(model, graph)
+        router.add_shard(model, graph, name=dataset)
+        shards[dataset] = graph
+        expected[dataset] = model.predict_logits(graph).argmax(axis=1)
+    with router, HttpServer(router, port=0, max_body_bytes=MAX_BODY) as server:
+        yield server, router, expected
+
+
+def request(server, method, path, body=None):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def get_json(server, path):
+    status, body = request(server, "GET", path)
+    return status, json.loads(body)
+
+
+class TestEndpoints:
+    def test_health(self, stack):
+        server, _, _ = stack
+        status, payload = get_json(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["shards"] == 2
+        assert payload["uptime_s"] >= 0
+
+    def test_predict_matches_in_process_predictions(self, stack):
+        server, _, expected = stack
+        status, body = request(
+            server, "POST", "/predict",
+            json.dumps({"node_ids": [0, 1, 2], "shard": "texas"}),
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["shard"] == "texas"
+        np.testing.assert_array_equal(payload["predictions"], expected["texas"][:3])
+        assert payload["latency_ms"] > 0
+        assert set(payload["spans"]) == {"queue", "cache", "forward", "deliver"}
+        assert sum(payload["spans"].values()) == pytest.approx(
+            payload["total_ms"], abs=1e-2
+        )
+
+    def test_predict_whole_graph_when_node_ids_omitted(self, stack):
+        server, _, expected = stack
+        status, body = request(
+            server, "POST", "/predict", json.dumps({"shard": "cornell"})
+        )
+        payload = json.loads(body)
+        assert status == 200
+        np.testing.assert_array_equal(payload["predictions"], expected["cornell"])
+
+    def test_shards_lists_engines_with_histograms(self, stack):
+        server, _, _ = stack
+        status, payload = get_json(server, "/shards")
+        assert status == 200
+        names = {shard["name"] for shard in payload["shards"]}
+        assert names == {"texas", "cornell"}
+        for shard in payload["shards"]:
+            assert "latency" in shard["stats"]
+            assert "p99_latency_ms" in shard["stats"]
+
+    def test_stats_nests_router_and_http(self, stack):
+        server, router, _ = stack
+        request(server, "POST", "/predict", json.dumps({"shard": "texas"}))
+        status, payload = get_json(server, "/stats")
+        assert status == 200
+        assert payload["max_pending"] == MAX_PENDING
+        assert payload["latency"]["count"] >= 1
+        assert payload["p50_latency_ms"] == payload["latency"]["p50_ms"]
+        assert payload["http"]["requests"] >= 1
+        assert payload["http"]["routes"]["/predict"]["200"] >= 1
+        # The JSON body is exactly the snapshot plus the http section.
+        assert payload["submitted"] == router.snapshot()["submitted"]
+
+    def test_metrics_is_valid_prometheus(self, stack):
+        server, _, _ = stack
+        request(server, "POST", "/predict", json.dumps({"shard": "texas"}))
+        status, body = request(server, "GET", "/metrics")
+        assert status == 200
+        families = parse_prometheus(body.decode("utf-8"))
+        assert families["repro_router_submitted_total"]["type"] == "counter"
+        assert families["repro_router_latency_ms"]["type"] == "histogram"
+        samples = families["repro_http_requests_total"]["samples"]
+        assert any(
+            labels == {"route": "/predict", "status": "200"}
+            for _, labels, _ in samples
+        )
+
+    def test_traces_expose_spans_with_shard(self, stack):
+        server, _, _ = stack
+        request(server, "POST", "/predict", json.dumps({"shard": "cornell"}))
+        status, payload = get_json(server, "/traces?limit=5")
+        assert status == 200
+        traces = payload["traces"]
+        assert 0 < len(traces) <= 5
+        newest = traces[0]
+        assert newest["shard"] in ("texas", "cornell")
+        assert sum(newest["spans"].values()) == pytest.approx(
+            newest["total_ms"], abs=1e-3
+        )
+
+
+class TestErrorPaths:
+    def test_unknown_path_is_404(self, stack):
+        server, _, _ = stack
+        status, body = request(server, "GET", "/nope")
+        assert status == 404
+        assert "/predict" in json.loads(body)["routes"]
+
+    def test_wrong_method_is_405(self, stack):
+        server, _, _ = stack
+        assert request(server, "POST", "/health")[0] == 405
+        assert request(server, "GET", "/predict")[0] == 405
+
+    def test_bad_json_is_400(self, stack):
+        server, _, _ = stack
+        assert request(server, "POST", "/predict", b"not json")[0] == 400
+        assert request(server, "POST", "/predict", b"[1, 2]")[0] == 400
+
+    def test_bad_node_ids_are_400(self, stack):
+        server, _, _ = stack
+        for payload in (
+            {"node_ids": "zero", "shard": "texas"},
+            {"node_ids": ["a"], "shard": "texas"},
+            {"node_ids": [True], "shard": "texas"},
+            {"node_ids": [10 ** 9], "shard": "texas"},
+        ):
+            status, _ = request(server, "POST", "/predict", json.dumps(payload))
+            assert status == 400, payload
+
+    def test_unknown_shard_is_404(self, stack):
+        server, _, _ = stack
+        status, body = request(
+            server, "POST", "/predict", json.dumps({"shard": "nope"})
+        )
+        assert status == 404
+        assert "nope" in json.loads(body)["error"]
+
+    def test_ambiguous_routing_is_404_with_diagnostics(self, stack):
+        server, _, _ = stack
+        # Two shards and no shard= — the router's routing error surfaces.
+        status, body = request(server, "POST", "/predict", json.dumps({}))
+        assert status == 404
+        assert "shard" in json.loads(body)["error"]
+
+    def test_oversized_body_is_413(self, stack):
+        server, _, _ = stack
+        status, _ = request(server, "POST", "/predict", b"x" * (MAX_BODY + 1))
+        assert status == 413
+
+    def test_bad_traces_limit_is_400(self, stack):
+        server, _, _ = stack
+        assert request(server, "GET", "/traces?limit=zzz")[0] == 400
+
+    def test_malformed_request_line_is_400(self, stack):
+        import socket
+
+        server, _, _ = stack
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+
+class TestLoadShedding:
+    def test_saturated_router_sheds_with_429(self, stack):
+        server, router, _ = stack
+        before = server.stats().shed
+        # Drain every back-pressure slot so the next request cannot queue.
+        for _ in range(MAX_PENDING):
+            assert router._slots.acquire(blocking=False)
+        try:
+            status, body = request(
+                server, "POST", "/predict", json.dumps({"shard": "texas"})
+            )
+        finally:
+            for _ in range(MAX_PENDING):
+                router._slots.release()
+        assert status == 429
+        assert json.loads(body)["max_pending"] == MAX_PENDING
+        assert server.stats().shed == before + 1
+        # Capacity restored: the same request succeeds now.
+        status, _ = request(
+            server, "POST", "/predict", json.dumps({"shard": "texas"})
+        )
+        assert status == 200
+
+
+class TestKeepAlive:
+    def test_many_requests_share_one_connection(self, stack):
+        server, _, _ = stack
+        before = server.stats().connections
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for _ in range(5):
+                connection.request(
+                    "POST", "/predict", json.dumps({"shard": "texas"})
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+        assert server.stats().connections == before + 1
+
+    def test_connection_close_is_honoured(self, stack):
+        server, _, _ = stack
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request("GET", "/health", headers={"Connection": "close"})
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestSessionAndCli:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        from repro.api import Session, TrainConfig
+
+        session = Session(train=TrainConfig(epochs=2, patience=5))
+        handle = session.load("texas").fit("MLP", hidden=8)
+        directory = tmp_path_factory.mktemp("http-artifact") / "model"
+        handle.save(directory)
+        return directory
+
+    def test_session_serve_http_owns_both_lifecycles(self, artifact):
+        from repro.api import HttpConfig, Session
+
+        server = Session().serve_http(artifact, http=HttpConfig(port=0))
+        with server:
+            assert server.router._running
+            status, payload = get_json(server, "/health")
+            assert status == 200 and payload["shards"] == 1
+            status, body = request(
+                server, "POST", "/predict", json.dumps({"node_ids": [0]})
+            )
+            assert status == 200
+            # Artifact-served shards are addressable by dataset name.
+            status, _ = request(
+                server, "POST", "/predict",
+                json.dumps({"node_ids": [0], "shard": "texas"}),
+            )
+            assert status == 200
+        assert not server.router._running
+
+    def test_serve_config_carries_http_settings(self, artifact):
+        from repro.api import HttpConfig, ServeConfig, Session
+
+        config = ServeConfig(http=HttpConfig(port=0, max_body_bytes=512))
+        server = Session(serve=config).serve_http(artifact)
+        assert server.max_body_bytes == 512
+        with server:
+            assert request(server, "POST", "/predict", b"x" * 513)[0] == 413
+
+    def test_cli_serve_for_seconds_smoke(self, artifact, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["serve", str(artifact), "--port", "0", "--for-seconds", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving 1 shard(s) at http://127.0.0.1:" in out
+        assert "/metrics" in out
+
+    def test_cli_serve_missing_artifact_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve", str(tmp_path / "absent"), "--for-seconds", "0.1"]) == 2

@@ -1,0 +1,158 @@
+"""Tests for the Prometheus text exposition renderer and strict parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    BUCKET_COUNT,
+    LatencyHistogram,
+    PrometheusParseError,
+    escape_help,
+    escape_label_value,
+    format_value,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestEscaping:
+    def test_label_value_escapes_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        assert escape_help("a\nb\\c") == "a\\nb\\\\c"
+        assert escape_help('quotes " stay') == 'quotes " stay'
+
+    def test_escaped_label_round_trips_through_the_parser(self):
+        tricky = 'sh"ard\\one\nx'
+        text = (
+            "# TYPE demo counter\n"
+            f'demo{{name="{escape_label_value(tricky)}"}} 1\n'
+        )
+        families = parse_prometheus(text)
+        samples = families["demo"]["samples"]
+        assert samples == [("demo", {"name": tricky}, 1.0)]
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("a-b.c/d") == "a_b_c_d"
+        assert sanitize_metric_name("9lives").startswith("_")
+
+    def test_format_value_specials(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+        assert format_value(3) == "3"
+        assert format_value(True) == "1"
+
+
+class TestRender:
+    def test_counters_get_total_suffix_gauges_do_not(self):
+        text = render_prometheus({"requests": 5, "max_pending": 7}, prefix="t")
+        families = parse_prometheus(text)
+        assert families["t_requests_total"]["type"] == "counter"
+        assert families["t_max_pending"]["type"] == "gauge"
+        assert ("t_requests_total", {}, 5.0) in families["t_requests_total"]["samples"]
+
+    def test_histogram_expands_to_bucket_series(self):
+        histogram = LatencyHistogram()
+        for value in (0.5, 2.0, 80.0):
+            histogram.record(value)
+        text = render_prometheus({"latency": histogram.snapshot()}, prefix="t")
+        families = parse_prometheus(text)
+        family = families["t_latency_ms"]
+        assert family["type"] == "histogram"
+        buckets = [s for s in family["samples"] if s[0] == "t_latency_ms_bucket"]
+        assert len(buckets) == BUCKET_COUNT
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert buckets[-1][2] == 3.0
+        count = [s for s in family["samples"] if s[0] == "t_latency_ms_count"]
+        assert count[0][2] == 3.0
+
+    def test_shards_become_a_label_dimension(self):
+        snapshot = {
+            "shards": {
+                "texas": {"requests": 3},
+                "we\"ird": {"requests": 1},
+            }
+        }
+        text = render_prometheus(snapshot, prefix="t")
+        families = parse_prometheus(text)
+        samples = families["t_shard_requests_total"]["samples"]
+        labels = {frozenset(s[1].items()) for s in samples}
+        assert frozenset({("shard", "texas")}) in labels
+        assert frozenset({("shard", 'we"ird')}) in labels
+
+    def test_strings_and_none_are_skipped(self):
+        text = render_prometheus({"name": "texas", "trace": None, "requests": 1}, prefix="t")
+        families = parse_prometheus(text)
+        assert set(families) == {"t_requests_total"}
+
+    def test_router_snapshot_renders_and_parses(self, homophilous_graph):
+        from repro.models.registry import create_model
+        from repro.serving import ShardRouter
+        from repro.training import Trainer
+
+        model = create_model("MLP", homophilous_graph, seed=0, hidden=8)
+        Trainer(epochs=2, patience=5).fit(model, homophilous_graph)
+        router = ShardRouter()
+        router.add_shard(model, homophilous_graph, name="main")
+        with router:
+            router.predict(node_ids=[0, 1, 2], shard="main")
+        text = render_prometheus(router.snapshot(), prefix="repro_router")
+        families = parse_prometheus(text)
+        assert families["repro_router_submitted_total"]["type"] == "counter"
+        # The merged router histogram and the per-shard one both render.
+        assert families["repro_router_latency_ms"]["type"] == "histogram"
+        shard_latency = families["repro_router_shard_latency_ms"]["samples"]
+        assert any(s[1].get("shard") == "main" for s in shard_latency)
+        # The per-request preprocess histogram nests two levels down.
+        assert "repro_router_shard_cache_preprocess_latency_ms" in families
+
+
+class TestParser:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("this is not a sample\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("# TYPE t wibble\n")
+
+    def test_rejects_unterminated_label(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus('# TYPE t counter\nt{a="b} 1\n')
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(PrometheusParseError, match="cumulative"):
+            parse_prometheus(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="1"} 5\n' "h_count 5\n"
+        with pytest.raises(PrometheusParseError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_rejects_inf_bucket_disagreeing_with_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_count 5\n"
+        )
+        with pytest.raises(PrometheusParseError, match="_count"):
+            parse_prometheus(text)
+
+    def test_accepts_arbitrary_comments(self):
+        families = parse_prometheus("# just a note\n# TYPE t gauge\nt 1\n")
+        assert families["t"]["samples"] == [("t", {}, 1.0)]

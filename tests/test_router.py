@@ -116,13 +116,22 @@ class TestRouting:
                 router.predict(node_ids=[0, 1]), expected[[0, 1]]
             )
 
+    def test_auto_names_prefer_graph_names(self, three_artifacts):
+        router = ShardRouter()
+        # Unnamed shards take their graph's dataset name, the natural
+        # routing key for HTTP clients.
+        auto = [router.add_artifact(d) for d, _, _ in three_artifacts]
+        assert auto == [g.name for _, g, _ in three_artifacts]
+
     def test_auto_names_skip_explicitly_taken_slots(self, three_artifacts):
         router = ShardRouter()
-        router.add_artifact(three_artifacts[0][0], name="shard-1")
-        # The generator starts at shard-<count> and must walk past the
-        # explicitly taken name instead of raising.
-        auto = [router.add_artifact(d) for d, _, _ in three_artifacts[1:]]
-        assert auto == ["shard-2", "shard-3"]
+        first, _, _ = three_artifacts[0]
+        router.add_artifact(first)  # takes the dataset name
+        router.add_artifact(first, name="shard-1")
+        # The dataset name is taken, so the generator kicks in; it starts
+        # at shard-<count> and must walk past the explicitly taken name
+        # instead of raising.
+        assert router.add_artifact(first) == "shard-2"
 
     def test_shared_operator_cache_prewarmed(self, three_artifacts):
         router = ShardRouter.from_artifacts([d for d, _, _ in three_artifacts])
