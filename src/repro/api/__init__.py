@@ -30,6 +30,7 @@ from .config import (
     SweepSpec,
     TrainConfig,
 )
+from ..graph.delta import GraphDelta
 from .experiment import execute_repeated, execute_single, resolve_view, run_sweep
 from .report import ExperimentReport, RunReport, SweepReport
 from .session import (
@@ -47,6 +48,7 @@ from .session import (
 __all__ = [
     "Session",
     "GraphHandle",
+    "GraphDelta",
     "ModelHandle",
     "TrainConfig",
     "AmudConfig",

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..amud.guidance import AmudDecision, apply_amud
 from ..datasets.synthetic import load_dataset
+from ..graph.delta import GraphDelta
 from ..graph.digraph import DirectedGraph
 from ..graph.transforms import to_undirected
 from ..metrics.homophily import homophily_report
@@ -321,6 +322,19 @@ class GraphHandle:
     def undirected(self) -> "GraphHandle":
         """The coarse undirected transformation (no AMUD decision)."""
         return GraphHandle(session=self.session, graph=to_undirected(self.graph))
+
+    def apply_delta(self, delta: GraphDelta, *, validate: bool = False) -> "GraphHandle":
+        """Apply a live :class:`~repro.graph.GraphDelta`; returns a new handle.
+
+        The mutated graph's fingerprint is maintained incrementally (only
+        touched rows re-hashed), so serving caches key it without a full
+        rehash.  Any attached AMUD decision is dropped — edge edits can
+        change the directed-modeling guidance — re-run :meth:`amud` if the
+        paradigm choice should follow the mutation.
+        """
+        return GraphHandle(
+            session=self.session, graph=self.graph.apply_delta(delta, validate=validate)
+        )
 
     # ------------------------------------------------------------------ #
     # Training

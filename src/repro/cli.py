@@ -212,6 +212,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "traced replay, --no-compile forces eager; default is 'auto' "
              "(trace with eager fallback)",
     )
+    bench_parser.add_argument(
+        "--mutate", type=int, default=0, metavar="N",
+        help="exercise the live-update path: a writer thread applies N "
+             "random single-edge GraphDeltas through router.update_shard "
+             "(round-robin across shards) while the clients run",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment",
@@ -415,6 +421,13 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_serve_bench(args: argparse.Namespace) -> int:
+    if args.mutate:
+        # Sustained delta churn allocates and frees multi-MB step arrays
+        # per swap; glibc's default trim threshold makes every one a fresh
+        # page-fault bill (see repro.serving.allocator).
+        from repro.serving import tune_allocator_for_churn
+
+        tune_allocator_for_churn()
     compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
     session = Session(
         serve=ServeConfig(
@@ -453,16 +466,51 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         for ticket in tickets:
             ticket.result(timeout=120)
 
+    clients_done = threading.Event()
+    swaps: list = []
+    writer_errors: list = []
+
+    def writer() -> None:
+        # Live-update traffic: random single-edge deltas through the
+        # atomic re-route path, round-robin across shards, until the
+        # budget is spent or the clients finish.
+        from repro.graph import GraphDelta
+
+        writer_rng = np.random.default_rng(1)
+        for index in range(args.mutate):
+            if clients_done.is_set():
+                break
+            shard = shards[index % len(shards)]
+            n = shard.engine.graph.num_nodes
+            u, v = int(writer_rng.integers(n)), int(writer_rng.integers(n))
+            delta = (
+                GraphDelta(add_edges=[[u, v]])
+                if index % 2 == 0
+                else GraphDelta(remove_edges=[[u, v]])
+            )
+            try:
+                swaps.append(router.update_shard(shard.name, delta))
+            except Exception as error:  # pragma: no cover - surfaced below
+                writer_errors.append(error)
+                break
+            time.sleep(0.002)
+
     with router:
         start = time.perf_counter()
         threads = [
             threading.Thread(target=client, args=(int(rng.integers(1 << 31)),))
             for _ in range(args.clients)
         ]
+        writer_thread = threading.Thread(target=writer) if args.mutate else None
         for thread in threads:
             thread.start()
+        if writer_thread is not None:
+            writer_thread.start()
         for thread in threads:
             thread.join()
+        clients_done.set()
+        if writer_thread is not None:
+            writer_thread.join()
         elapsed = time.perf_counter() - start
         stats = router.stats()
 
@@ -481,6 +529,15 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         f"served {total_requests} requests in {elapsed:.3f}s "
         f"({total_requests / elapsed:.1f} req/s)"
     )
+    if args.mutate:
+        in_place = sum(1 for swap in swaps if swap.in_place)
+        print(
+            f"live updates: {len(swaps)} deltas applied "
+            f"({in_place} in-place, {len(swaps) - in_place} re-preprocessed)"
+        )
+        if writer_errors:
+            print(f"error: live-update writer failed: {writer_errors[0]}", file=sys.stderr)
+            return 1
     print(
         f"batches: {total_batches}  forwards: {total_forwards}  "
         f"mean batch size: {total_requests / total_batches if total_batches else 0.0:.1f}"

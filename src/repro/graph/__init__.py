@@ -1,5 +1,6 @@
 """Graph substrate: containers, operators, transforms, generators and splits."""
 
+from .delta import GraphDelta, apply_delta
 from .digraph import DirectedGraph, from_edge_list
 from .generators import DSBMConfig, directed_sbm, heterophilous_digraph, homophilous_digraph
 from .io import load_graph, save_graph
@@ -32,6 +33,8 @@ from .transforms import (
 
 __all__ = [
     "DirectedGraph",
+    "GraphDelta",
+    "apply_delta",
     "from_edge_list",
     "save_graph",
     "load_graph",

@@ -21,7 +21,10 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..fingerprint import graph_fingerprint
+from ..fingerprint import GraphFingerprint, fingerprint_state
+
+if False:  # pragma: no cover - import cycle guard, typing only
+    from .delta import GraphDelta
 
 
 @dataclass
@@ -79,6 +82,15 @@ class DirectedGraph:
                 if mask.shape[0] != n:
                     raise ValueError(f"{mask_name} has wrong length {mask.shape[0]} != {n}")
                 setattr(self, mask_name, mask)
+        # Pin the class count at construction so mutations or subgraphs
+        # that drop the highest class cannot silently shrink logit shapes.
+        # ``meta["num_classes"]`` overrides (and is carried by every
+        # transform); labels outside the pinned range still grow it.
+        derived = int(self.labels.max()) + 1 if self.labels.size else 0
+        pinned = max(int(self.meta.get("num_classes", derived)), derived)
+        if pinned != self.meta.get("num_classes"):
+            self.meta = {**self.meta, "num_classes": pinned}
+        self._num_classes = pinned
 
     # -------------------------------------------------------------- #
     # Basic properties
@@ -98,7 +110,13 @@ class DirectedGraph:
 
     @property
     def num_classes(self) -> int:
-        return int(self.labels.max()) + 1 if self.labels.size else 0
+        """Class count pinned at construction (see ``__post_init__``).
+
+        Stable under mutations/subgraphs that drop the highest class, so
+        logit shapes cannot silently shrink; overridable via
+        ``meta["num_classes"]``.
+        """
+        return self._num_classes
 
     @property
     def has_splits(self) -> bool:
@@ -138,9 +156,46 @@ class DirectedGraph:
         """
         cached = getattr(self, "_fingerprint_cache", None)
         if cached is None:
-            cached = graph_fingerprint(self)
+            cached = self.fingerprint_state().digest()
             object.__setattr__(self, "_fingerprint_cache", cached)
         return cached
+
+    def fingerprint_state(self) -> GraphFingerprint:
+        """Per-row fingerprint state backing :meth:`fingerprint`.
+
+        Computed lazily and cached; :meth:`apply_delta` derives the mutated
+        graph's state from it by re-hashing only the touched rows.
+        """
+        state = getattr(self, "_fingerprint_state", None)
+        if state is None:
+            state = fingerprint_state(self, adjacency=self.canonical_adjacency())
+            object.__setattr__(self, "_fingerprint_state", state)
+        return state
+
+    def canonical_adjacency(self) -> sp.csr_matrix:
+        """The canonicalised (sorted, deduplicated, int64/float64) CSR.
+
+        Cached on first use; :meth:`apply_delta` edits this form directly so
+        chained live updates skip re-canonicalisation.
+        """
+        from ..fingerprint import canonical_csr
+
+        cached = getattr(self, "_canonical_adjacency", None)
+        if cached is None:
+            cached = canonical_csr(self.adjacency)
+            object.__setattr__(self, "_canonical_adjacency", cached)
+        return cached
+
+    def apply_delta(self, delta: "GraphDelta", *, validate: bool = False) -> "DirectedGraph":
+        """Apply a live :class:`~repro.graph.delta.GraphDelta`.
+
+        Returns the mutated graph (this one is untouched) with its content
+        fingerprint maintained incrementally — only the touched rows/arrays
+        are re-hashed.  See :func:`repro.graph.delta.apply_delta`.
+        """
+        from .delta import apply_delta as _apply_delta
+
+        return _apply_delta(self, delta, validate=validate)
 
     # -------------------------------------------------------------- #
     # Derived views

@@ -106,6 +106,21 @@ class NodeClassifier(Module):
         kwargs = getattr(self, "_init_kwargs", {})
         return f"{name}:{model_fingerprint(name, kwargs)}"
 
+    def update_preprocess(self, old_graph, new_graph, delta, cache):
+        """Incrementally rebuild a preprocess cache after a live graph delta.
+
+        ``cache`` is this model's preprocess output for ``old_graph`` and
+        ``new_graph == old_graph.apply_delta(delta)``.  A model that can
+        patch the cache for the touched rows returns the new cache — which
+        MUST be bit-identical to ``preprocess(new_graph)``, the serving
+        layer validates this in tests — and returns ``None`` when it
+        cannot (callers then fall back to a full re-preprocess).  The
+        default is ``None``: models with globally-coupled preprocessing
+        (e.g. ADPA's correlation-guided operator selection) take the
+        fallback, which is always correct.
+        """
+        return None
+
     def bind_cache(self, cache: Dict[str, object]) -> None:
         """Adopt a preprocess cache computed elsewhere.
 

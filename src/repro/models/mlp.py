@@ -45,5 +45,10 @@ class MLPClassifier(NodeClassifier):
     def preprocess(self, graph: DirectedGraph) -> Dict[str, object]:
         return {"x": Tensor(graph.features)}
 
+    def update_preprocess(self, old_graph, new_graph, delta, cache):
+        # Structure-free: the cache is the feature matrix, so any delta is
+        # absorbed by rebuilding the (zero-cost) wrapper around it.
+        return {"x": Tensor(new_graph.features)}
+
     def forward(self, cache: Dict[str, object]) -> Tensor:
         return self.mlp(cache["x"])

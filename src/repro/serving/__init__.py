@@ -27,8 +27,10 @@ from .artifacts import (
     restore_model,
     save_model,
 )
+from .allocator import tune_allocator_for_churn
 from .cache import CacheStats, LRUCache, OperatorCache, OperatorCacheStats
 from .engine import (
+    GraphSwapTicket,
     InferenceServer,
     InferenceTicket,
     ServerOverloaded,
@@ -67,6 +69,7 @@ __all__ = [
     "OperatorCacheStats",
     "HttpServer",
     "HttpStats",
+    "GraphSwapTicket",
     "InferenceServer",
     "InferenceTicket",
     "ServerOverloaded",
@@ -81,6 +84,7 @@ __all__ = [
     "FOLD_MODES",
     "TraceCache",
     "TraceCacheStats",
+    "tune_allocator_for_churn",
     "TracedProgram",
     "TraceError",
     "compile_forward",

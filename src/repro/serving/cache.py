@@ -147,6 +147,27 @@ class LRUCache(StatsSource):
         with self._lock:
             return list(self._entries.items())
 
+    def discard(self, key: Any) -> bool:
+        """Drop one entry if present (no hit/miss accounting); True if dropped."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                return True
+            return False
+
+    def discard_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose *key* matches; returns the count dropped.
+
+        This is the surgical-invalidation primitive behind live graph
+        updates: only entries keyed by a retired graph fingerprint go,
+        everything else stays warm.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -316,6 +337,18 @@ class OperatorCache(StatsSource):
     def seed(self, model, graph, value: Dict[str, object]) -> None:
         """Insert an already-computed preprocess result (artifact restore)."""
         self._cache.put(preprocess_key(model, graph), value)
+
+    def invalidate_graph(self, fingerprint: str) -> int:
+        """Drop every entry keyed by one graph fingerprint, for any model.
+
+        Surgical: entries for other fingerprints — other shards, or the
+        successor graph a live update just warmed — are untouched.  Returns
+        the number of entries dropped.
+        """
+        suffix = f"/{fingerprint}"
+        return self._cache.discard_where(
+            lambda key: isinstance(key, str) and key.endswith(suffix)
+        )
 
     def grow(self, capacity: int) -> None:
         """Raise the capacity to at least ``capacity`` (never shrinks).

@@ -25,6 +25,7 @@ requests.
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 import time
@@ -35,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..graph.delta import GraphDelta
 from ..graph.digraph import DirectedGraph
 from ..models.base import NodeClassifier
 from ..obs.histogram import HistogramStats, LatencyHistogram
@@ -51,6 +53,90 @@ _STOP = object()
 
 class ServerOverloaded(RuntimeError):
     """Raised when a bounded request queue rejects a non-blocking submit."""
+
+
+def _clone_exception(error: BaseException) -> BaseException:
+    """A per-ticket copy of a shared batch failure.
+
+    Concurrent ``result()`` calls re-raise their ticket's exception on
+    multiple client threads; ``raise`` mutates ``__traceback__`` in place,
+    so handing the *same* exception object to every ticket in a failed
+    group is a data race.  Each ticket gets its own shallow copy (falling
+    back to a ``RuntimeError`` wrapper for exceptions that refuse to
+    copy), chained to the original via ``__cause__``.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        clone = None
+    if clone is None or clone is error:
+        clone = RuntimeError(f"{type(error).__name__}: {error}")
+    clone.__cause__ = error
+    clone.__traceback__ = None
+    return clone
+
+
+class GraphSwapTicket:
+    """Handle returned by :meth:`InferenceServer.swap_graph`.
+
+    Resolves once the worker has warmed the new fingerprint, swapped the
+    bound graph and surgically invalidated entries keyed by the old one.
+    ``in_place`` reports whether the model patched its preprocess cache
+    incrementally (``True``) or took the full re-preprocess fallback;
+    ``invalidated`` counts the entries dropped per cache layer.
+    """
+
+    def __init__(self, delta: GraphDelta) -> None:
+        self.delta = delta
+        self.old_fingerprint: Optional[str] = None
+        self.new_fingerprint: Optional[str] = None
+        self.in_place: Optional[bool] = None
+        self.invalidated: Dict[str, int] = {}
+        self._done = threading.Event()
+        self._graph: Optional[DirectedGraph] = None
+        self._error: Optional[BaseException] = None
+
+    def _complete(self, graph: DirectedGraph) -> None:
+        if self._done.is_set():
+            return
+        self._graph = graph
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._done.is_set():
+            return
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> DirectedGraph:
+        """Block until applied; returns the mutated graph now being served."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("graph swap did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._graph
+
+
+class _RetireMarker:
+    """Queue sentinel that retires a swapped-out fingerprint.
+
+    Enqueued by the worker right after it applies a swap.  FIFO ordering
+    guarantees every ticket that bound the old graph (submitted before the
+    swap was applied) drains ahead of the marker, so when the marker is
+    processed the old fingerprint's cache entries have no remaining
+    readers and can be dropped without anyone repaying a preprocess.
+    The swap ticket completes here, so blocking callers still observe
+    "invalidation done" when :meth:`GraphSwapTicket.result` returns.
+    """
+
+    __slots__ = ("swap", "graph")
+
+    def __init__(self, swap: GraphSwapTicket, graph: DirectedGraph) -> None:
+        self.swap = swap
+        self.graph = graph
 
 
 class InferenceTicket:
@@ -346,7 +432,11 @@ class InferenceServer(StatsSource):
                     leftover = self._queue.get_nowait()
                 except queue.Empty:
                     break
-                if leftover is not _STOP:
+                if isinstance(leftover, _RetireMarker):
+                    # The swap behind it already applied; finish its
+                    # bookkeeping inline rather than reporting a failure.
+                    self._finish_retire(leftover)
+                elif leftover is not _STOP:
                     leftover._fail(
                         RuntimeError("InferenceServer stopped before serving request")
                     )
@@ -375,6 +465,42 @@ class InferenceServer(StatsSource):
                     "warms caches through the request path"
                 )
             self.cache.preprocess(self.model, graph if graph is not None else self.graph)
+
+    def swap_graph(
+        self,
+        delta: GraphDelta,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = 30.0,
+    ) -> GraphSwapTicket:
+        """Apply a live :class:`GraphDelta` to the bound graph.
+
+        On a running server the swap is a control message on the request
+        queue: the worker finishes the batch in flight, applies the delta
+        (incremental fingerprint), **warms the new fingerprint before
+        swapping** — via the model's in-place ``update_preprocess`` when
+        supported, a full re-preprocess otherwise — rebinds ``self.graph``
+        and then surgically invalidates operator/trace/logit entries keyed
+        by the old fingerprint.  The invalidation is deferred through a
+        queue marker so requests already bound to the old graph (they sit
+        between the swap and the marker in FIFO order) keep answering from
+        the still-warm cache — nobody repays a preprocess of a retired
+        graph.  On a stopped server the swap applies inline.
+
+        ``block=True`` (default) waits for completion and re-raises any
+        failure; do not block from the worker thread itself (done
+        callbacks), it would deadlock.
+        """
+        swap = GraphSwapTicket(delta)
+        with self._lifecycle_lock:
+            running = self._running
+            if running:
+                self._queue.put(swap)
+            else:
+                self._apply_swap(swap)
+        if running and block:
+            swap.result(timeout)
+        return swap
 
     def clear_logit_cache(self) -> None:
         """Drop memoised logits (required after any weight mutation).
@@ -512,14 +638,93 @@ class InferenceServer(StatsSource):
                 self._broken_traces.add(trace_key)
             return None
 
+    def _apply_swap(self, swap: GraphSwapTicket, *, defer_retire: bool = False) -> None:
+        """Worker-side (or stopped-server inline) application of one swap.
+
+        Order matters: the new fingerprint is warmed first — so the old
+        graph keeps serving while the expensive part runs — then the bound
+        graph flips, then the old fingerprint's cache entries drop.
+
+        With ``defer_retire`` (the running-server path) the drop does not
+        happen here: tickets submitted while the swap sat in the queue are
+        bound to the old graph and are still *behind* it in FIFO order —
+        invalidating now would force each of their batches to repay a full
+        preprocess of a graph we just stopped serving.  Instead a
+        :class:`_RetireMarker` is enqueued; the old entries retire when it
+        drains, after every old-graph ticket has been answered from the
+        still-warm cache.  The swap ticket completes at the marker, so
+        ``block=True`` callers still return with invalidation finished.
+        """
+        old_graph = self.graph
+        try:
+            old_fp = old_graph.fingerprint()
+            swap.old_fingerprint = old_fp
+            new_graph = old_graph.apply_delta(swap.delta)
+            new_fp = new_graph.fingerprint()
+            swap.new_fingerprint = new_fp
+            updated = None
+            old_cache = self.cache.lookup(self.model, old_graph)
+            if old_cache is not None:
+                updated = self.model.update_preprocess(
+                    old_graph, new_graph, swap.delta, old_cache
+                )
+            # Old and new entries coexist until the marker drains; make
+            # room so seeding the successor cannot LRU-evict the entry the
+            # queued old-graph tickets are about to read.
+            self.cache.grow(len(self.cache) + 1)
+            if updated is not None:
+                self.cache.seed(self.model, new_graph, updated)
+                swap.in_place = True
+            else:
+                self.cache.preprocess(self.model, new_graph)
+                swap.in_place = False
+            self.graph = new_graph
+            if new_fp == old_fp:  # an empty delta must not drop its own entries
+                swap._complete(new_graph)
+            elif defer_retire:
+                self._queue.put(_RetireMarker(swap, new_graph))
+            else:
+                swap.invalidated = self._retire_fingerprint(old_fp)
+                swap._complete(new_graph)
+        except BaseException as error:
+            swap._fail(error)
+
+    def _retire_fingerprint(self, old_fp: str) -> Dict[str, int]:
+        """Surgically drop every cache entry keyed by ``old_fp``."""
+        invalidated = {
+            "operator": self.cache.invalidate_graph(old_fp),
+            "logits": self._logit_cache.discard_where(
+                lambda key: isinstance(key, tuple) and bool(key) and key[-1] == old_fp
+            ),
+        }
+        if self._trace_cache is not None:
+            invalidated["traces"] = self._trace_cache.invalidate_graph(old_fp)
+        return invalidated
+
+    def _finish_retire(self, marker: _RetireMarker) -> None:
+        """Process a drained :class:`_RetireMarker`: invalidate, then resolve."""
+        swap = marker.swap
+        try:
+            swap.invalidated = self._retire_fingerprint(swap.old_fingerprint)
+            swap._complete(marker.graph)
+        except BaseException as error:  # pragma: no cover - cache layer is robust
+            swap._fail(error)
+
     def _serve_loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is _STOP:
                 break
+            if isinstance(item, GraphSwapTicket):
+                self._apply_swap(item, defer_retire=True)
+                continue
+            if isinstance(item, _RetireMarker):
+                self._finish_retire(item)
+                continue
             batch = [item]
             deadline = time.perf_counter() + self.max_wait_seconds
             stop_after_batch = False
+            pending_control = None
             while len(batch) < self.max_batch_size:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
@@ -531,8 +736,18 @@ class InferenceServer(StatsSource):
                 if nxt is _STOP:
                     stop_after_batch = True
                     break
+                if isinstance(nxt, (GraphSwapTicket, _RetireMarker)):
+                    # Close the batch: tickets behind the swap/marker see
+                    # the post-control state, tickets ahead of it the old
+                    # one (FIFO order).
+                    pending_control = nxt
+                    break
                 batch.append(nxt)
             self._process_batch(batch)
+            if isinstance(pending_control, GraphSwapTicket):
+                self._apply_swap(pending_control, defer_retire=True)
+            elif isinstance(pending_control, _RetireMarker):
+                self._finish_retire(pending_control)
             if stop_after_batch:
                 break
 
@@ -591,7 +806,9 @@ class InferenceServer(StatsSource):
                     path = "memoised"
             except BaseException as error:  # fan the failure out, keep serving
                 for ticket in tickets:
-                    ticket._fail(error)
+                    # Each ticket gets its own exception object: clients
+                    # re-raise concurrently and must not share a traceback.
+                    ticket._fail(_clone_exception(error))
                 continue
             for ticket in tickets:
                 ticket.trace.mark("cache", cache_done)

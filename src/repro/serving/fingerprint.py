@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from ..fingerprint import (
     DIGEST_SIZE,
+    GraphFingerprint,
     array_digest,
+    canonical_csr,
+    fingerprint_state,
     graph_fingerprint,
     model_fingerprint,
     preprocess_key,
@@ -18,7 +21,10 @@ from ..fingerprint import (
 
 __all__ = [
     "DIGEST_SIZE",
+    "GraphFingerprint",
     "array_digest",
+    "canonical_csr",
+    "fingerprint_state",
     "graph_fingerprint",
     "model_fingerprint",
     "preprocess_key",

@@ -36,12 +36,19 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..graph.delta import GraphDelta
 from ..graph.digraph import DirectedGraph
 from ..models.base import NodeClassifier
 from ..obs.histogram import HistogramStats
 from .artifacts import ModelArtifact, restore_model
 from .cache import LRUCache, OperatorCache
-from .engine import InferenceServer, InferenceTicket, ServerOverloaded, ServerStats
+from .engine import (
+    GraphSwapTicket,
+    InferenceServer,
+    InferenceTicket,
+    ServerOverloaded,
+    ServerStats,
+)
 from .stats import Stats, StatsSource
 from .trace import COMPILE_MODES, TraceCache, TraceCacheStats
 
@@ -225,6 +232,48 @@ class ShardRouter(StatsSource):
             if self._running:
                 engine.start()
         return name
+
+    def update_shard(
+        self,
+        name: str,
+        delta: "GraphDelta",
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> GraphSwapTicket:
+        """Apply a live :class:`~repro.graph.GraphDelta` to a named shard.
+
+        Delegates to the shard engine's :meth:`InferenceServer.swap_graph`
+        — the old fingerprint keeps serving until the new one is warm,
+        and its cache entries survive until every request bound to it has
+        drained — and then atomically re-points the router's fingerprint
+        index, so in-flight fingerprint-routed traffic never sees a torn
+        route: requests resolve either the old fingerprint (answered with
+        pre-delta state) or the new one, never an error.  Only cache
+        entries keyed by the touched graph's old fingerprint drop;
+        untouched shards stay warm.  Returns the completed
+        :class:`GraphSwapTicket`.
+        """
+        with self._lock:
+            info = self._shards.get(name)
+        if info is None:
+            raise UnknownShard(
+                f"unknown shard {name!r}; registered: {sorted(self._shards)}"
+            )
+        swap = info.engine.swap_graph(delta, block=True, timeout=timeout)
+        new_graph = swap.result(timeout=0)  # re-raise engine-side failures
+        new_fingerprint = new_graph.fingerprint()
+        with self._lock:
+            old_fingerprint = info.fingerprint
+            names = self._by_fingerprint.get(old_fingerprint)
+            if names is not None and name in names:
+                names.remove(name)
+                if not names:
+                    del self._by_fingerprint[old_fingerprint]
+            info.fingerprint = new_fingerprint
+            peers = self._by_fingerprint.setdefault(new_fingerprint, [])
+            if name not in peers:
+                peers.append(name)
+        return swap
 
     def add_artifact(self, directory: PathLike, *, name: Optional[str] = None) -> str:
         """Load a serving artifact and register it as a shard.

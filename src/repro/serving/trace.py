@@ -703,6 +703,18 @@ class TraceCache(StatsSource):
         with self._lock:
             self._fallbacks += 1
 
+    def invalidate_graph(self, fingerprint: str) -> int:
+        """Drop every compiled program keyed by one graph fingerprint.
+
+        Surgical counterpart of ``OperatorCache.invalidate_graph`` for live
+        graph updates: programs compiled against other fingerprints stay.
+        Returns the number of programs dropped.
+        """
+        suffix = f"/{fingerprint}"
+        return self._cache.discard_where(
+            lambda key: isinstance(key, str) and key.endswith(suffix)
+        )
+
     def grow(self, capacity: int) -> None:
         self._cache.grow(capacity)
 
