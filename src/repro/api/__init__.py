@@ -31,7 +31,13 @@ from .config import (
     TrainConfig,
 )
 from ..graph.delta import GraphDelta
-from .experiment import execute_repeated, execute_single, resolve_view, run_sweep
+from .experiment import (
+    execute_repeated,
+    execute_single,
+    resolve_view,
+    run_sweep,
+    shard_cells,
+)
 from .report import ExperimentReport, RunReport, SweepReport
 from .session import (
     ARTIFACT_KIND,
@@ -67,6 +73,7 @@ __all__ = [
     "execute_single",
     "execute_repeated",
     "run_sweep",
+    "shard_cells",
     "decision_to_dict",
     "decision_from_dict",
     "train_result_to_dict",

@@ -168,17 +168,61 @@ def execute_repeated(
     return ExperimentReport.from_runs(runs), results
 
 
-def run_sweep(spec: SweepSpec) -> SweepReport:
+def shard_cells(
+    spec: SweepSpec, shard_index: int, shard_count: int
+) -> List[int]:
+    """Canonical cell indices owned by one shard (round-robin by index).
+
+    The assignment is a pure function of the spec and the shard coordinates
+    — cell ``i`` of :meth:`SweepSpec.cells` belongs to shard ``i %
+    shard_count`` — so every participant in a distributed sweep computes
+    the same partition without coordination, and the merge can verify a
+    shard report claims exactly the cells it should.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return [
+        index
+        for index in range(len(spec.cells()))
+        if index % shard_count == shard_index
+    ]
+
+
+def run_sweep(
+    spec: SweepSpec, shard: Optional[Tuple[int, int]] = None
+) -> SweepReport:
     """Execute a full models × datasets × variants grid.
 
     Datasets are loaded (and symmetrised, when a view needs it) once each;
     every (cell, seed) run is an independent task on one shared bounded
     pool, so parallelism crosses cell boundaries.  Cells aggregate in the
     spec's canonical order regardless of scheduling.
+
+    ``shard=(i, n)`` restricts execution to the cells
+    :func:`shard_cells` assigns to shard ``i`` of ``n`` (loading only the
+    datasets those cells touch).  Each run is an independent deterministic
+    function of (model, view, seed, kwargs) and cells are never split
+    across shards, so a shard's cell reports are bit-identical to the same
+    cells of the serial sweep up to wall-clock timing fields — that is
+    what lets ``merge_shard_reports`` reassemble the serial report.
     """
     config = spec.config
     trainer = config.build_trainer()
-    graphs = {name: load_dataset(name, seed=spec.dataset_seed) for name in spec.datasets}
+    all_cells = spec.cells()
+    if shard is None:
+        owned = list(range(len(all_cells)))
+    else:
+        owned = shard_cells(spec, *shard)
+    needed_datasets = {all_cells[index][0] for index in owned}
+    graphs = {
+        name: load_dataset(name, seed=spec.dataset_seed)
+        for name in spec.datasets
+        if name in needed_datasets
+    }
     undirected_views: Dict[str, DirectedGraph] = {}
 
     def undirected_for(name: str) -> DirectedGraph:
@@ -187,7 +231,8 @@ def run_sweep(spec: SweepSpec) -> SweepReport:
         return undirected_views[name]
 
     cells: List[Tuple[str, str, str, DirectedGraph, Dict[str, object]]] = []
-    for dataset, model, variant in spec.cells():
+    for index in owned:
+        dataset, model, variant = all_cells[index]
         view = resolve_view(
             model,
             graphs[dataset],

@@ -19,7 +19,7 @@ byte-identical reports (up to wall-clock timing fields).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -102,6 +102,16 @@ class RunReport:
             "fit_seconds": self.fit_seconds,
             "preprocess_seconds": self.preprocess_seconds,
         }
+
+    def canonical(self) -> "RunReport":
+        """This run with its wall-clock fields zeroed.
+
+        Accuracies, epochs and seeds are deterministic functions of the
+        spec; ``fit_seconds``/``preprocess_seconds`` are the only fields
+        that vary between two executions of the same cell.  The canonical
+        form is what distributed sweeps compare and merge bit-identically.
+        """
+        return replace(self, fit_seconds=0.0, preprocess_seconds=0.0)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunReport":
@@ -193,6 +203,10 @@ class ExperimentReport:
             "val_std": self.val_std,
             "runs": [run.to_dict() for run in self.runs],
         }
+
+    def canonical(self) -> "ExperimentReport":
+        """This cell with every run's wall-clock fields zeroed."""
+        return replace(self, runs=tuple(run.canonical() for run in self.runs))
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentReport":
@@ -300,6 +314,15 @@ class SweepReport:
                 cells.append(f"{mean_rank:>16.1f}")
             lines.append("  ".join(cells))
         return "\n".join(lines)
+
+    def canonical(self) -> "SweepReport":
+        """The report with all wall-clock timing fields zeroed.
+
+        Two executions of the same spec — serial, thread-parallel, or
+        sharded across processes and merged — produce byte-identical
+        canonical JSON; only the timing fields differ between runs.
+        """
+        return replace(self, cells=tuple(cell.canonical() for cell in self.cells))
 
     # ------------------------------------------------------------------ #
     # Persistence

@@ -30,10 +30,19 @@ programs and the serving front door all drive the same
 ``python -m repro.cli experiment <spec.toml|spec.json>``
     Run a declarative :class:`repro.api.SweepSpec` (models × datasets ×
     variants, repeated over seeds) and emit the typed report as a table
-    and/or JSON.
+    and/or JSON.  ``--shard i/N`` runs only the deterministic shard ``i``
+    and writes a shard report for ``merge-reports``.
+
+``python -m repro.cli merge-reports shard0.json shard1.json ...``
+    Merge shard reports from ``experiment --shard`` back into the full
+    sweep report — byte-identical (canonical form) to the serial run.
 
 ``python -m repro.cli datasets``
     List the registered benchmark stand-ins with their statistics.
+
+``repro serve --workers N`` (N ≥ 2) forks N router worker processes
+sharing one spilled cache directory behind a parent HTTP front door;
+``serve`` traps SIGTERM/SIGINT and drains in-flight requests on exit.
 
 Artifact errors (missing directory, corrupt manifest or weights) exit with
 code 2 and a one-line message instead of a traceback.
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import threading
 import time
@@ -179,7 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--for-seconds", type=float, default=None,
         help="serve for a fixed duration then exit (smoke tests); "
-             "default serves until Ctrl-C",
+             "default serves until SIGTERM/SIGINT (in-flight requests drain)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="router worker processes; >= 2 forks a repro.cluster pool "
+             "sharing --cache-dir behind this front door (each worker owns "
+             "its own GIL)",
     )
 
     bench_parser = subparsers.add_parser(
@@ -244,6 +260,37 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--json", action="store_true",
         help="print the report JSON to stdout instead of the table",
+    )
+    experiment_parser.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only the deterministic shard I of N (cells i ≡ I mod N) "
+             "and emit a shard report for 'merge-reports'",
+    )
+    experiment_parser.add_argument(
+        "--canonical", action="store_true",
+        help="zero the wall-clock timing fields so reports from different "
+             "runs/machines compare byte-identical",
+    )
+
+    merge_parser = subparsers.add_parser(
+        "merge-reports",
+        help="merge 'experiment --shard' reports into the full sweep report",
+    )
+    merge_parser.add_argument(
+        "reports", nargs="+", metavar="shard.json",
+        help="shard report files written by 'experiment --shard I/N --out'",
+    )
+    merge_parser.add_argument(
+        "--out", default=None, help="write the merged report JSON to this path"
+    )
+    merge_parser.add_argument(
+        "--json", action="store_true",
+        help="print the merged report JSON to stdout instead of the table",
+    )
+    merge_parser.add_argument(
+        "--keep-timings", action="store_true",
+        help="keep each shard's measured wall-clock timings instead of the "
+             "canonical (zeroed, bit-comparable) form",
     )
 
     subparsers.add_parser("datasets", help="list registered datasets")
@@ -380,7 +427,89 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wait_for_shutdown(for_seconds: Optional[float]) -> Optional[str]:
+    """Block until the duration elapses or SIGTERM/SIGINT arrives.
+
+    Returns the signal name when one fired (``None`` on plain timeout).
+    The previous handlers are restored on exit, so nested waits and the
+    test-suite's own signal use stay unaffected.
+    """
+    stop = threading.Event()
+    fired: List[str] = []
+
+    def _on_signal(signum, frame) -> None:
+        fired.append(signal.Signals(signum).name)
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        stop.wait(for_seconds)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return fired[0] if fired else None
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    from .cluster import WorkerError, serve_cluster
+
+    compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
+    server = serve_cluster(
+        args.artifacts,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        serve=ServeConfig(
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            router_max_pending=args.max_pending,
+            compile=compile_mode,
+        ),
+        host=args.host,
+        port=args.port,
+    )
+    try:
+        server.start()
+    except (WorkerError, FutureTimeout, OSError) as error:
+        reason = str(error) or type(error).__name__
+        print(f"error: cluster workers failed to start: {reason}", file=sys.stderr)
+        print(
+            "hint: each worker replays a 'load' of the artifact paths; the "
+            "first failure above names the culprit",
+            file=sys.stderr,
+        )
+        return EXIT_ARTIFACT_ERROR
+    try:
+        print(
+            f"serving {len(args.artifacts)} artifact(s) across "
+            f"{args.workers} worker process(es) at {server.url}"
+        )
+        print("endpoints: POST /predict | GET /health /shards /stats /metrics")
+        signame = _wait_for_shutdown(args.for_seconds)
+        if signame is not None:
+            print(f"\nreceived {signame}; shutting down (draining in-flight requests)")
+    finally:
+        server.stop()
+    stats = server.stats()
+    pool_stats = server.pool.stats()
+    print(
+        f"served {stats.requests} request(s) over {stats.connections} "
+        f"connection(s), shed {stats.shed}; pool: {pool_stats.tasks} task(s), "
+        f"{pool_stats.retries} retried, {pool_stats.restarts} worker restart(s)"
+    )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    if args.workers > 1:
+        return _serve_cluster(args)
     compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
     session = Session(
         serve=ServeConfig(
@@ -404,14 +533,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         for shard in shards:
             print(f"  {shard.name}: {shard.model_name} on {shard.engine.graph.name}")
         print("endpoints: POST /predict | GET /health /shards /stats /metrics /traces")
-        try:
-            if args.for_seconds is not None:
-                time.sleep(args.for_seconds)
-            else:
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            print("\nshutting down")
+        signame = _wait_for_shutdown(args.for_seconds)
+        if signame is not None:
+            print(f"\nreceived {signame}; shutting down (draining in-flight requests)")
     stats = server.stats()
     print(
         f"served {stats.requests} request(s) over {stats.connections} "
@@ -592,7 +716,63 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(f"error: cannot load experiment spec {args.spec!r}: {reason}", file=sys.stderr)
         return EXIT_ARTIFACT_ERROR
 
+    if args.shard is not None:
+        return _run_experiment_shard(args, spec)
+
     report = Session().experiment(spec)
+    if args.canonical:
+        report = report.canonical()
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.as_table())
+    if args.out:
+        path = report.save(args.out)
+        print(f"report: {path}")
+    return 0
+
+
+def _run_experiment_shard(args: argparse.Namespace, spec: SweepSpec) -> int:
+    from .cluster import run_sweep_shard
+
+    try:
+        index_text, _, count_text = args.shard.partition("/")
+        shard_index, shard_count = int(index_text), int(count_text)
+    except ValueError:
+        print(
+            f"error: --shard expects I/N (e.g. 0/4), got {args.shard!r}",
+            file=sys.stderr,
+        )
+        return EXIT_ARTIFACT_ERROR
+    try:
+        report = run_sweep_shard(spec, shard_index, shard_count)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    if args.canonical:
+        report = report.canonical()
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(
+            f"shard {shard_index}/{shard_count}: ran {len(report.cells)} of "
+            f"{len(spec.cells())} cell(s) (indices {list(report.cell_indices)})"
+        )
+    if args.out:
+        path = report.save(args.out)
+        print(f"shard report: {path}")
+    return 0
+
+
+def _command_merge_reports(args: argparse.Namespace) -> int:
+    from .cluster import merge_shard_files
+
+    try:
+        report = merge_shard_files(args.reports, canonical=not args.keep_timings)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        reason = str(error) or type(error).__name__
+        print(f"error: cannot merge shard reports: {reason}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -632,6 +812,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "serve-bench": _command_serve_bench,
         "experiment": _command_experiment,
+        "merge-reports": _command_merge_reports,
         "datasets": _command_datasets,
         "models": _command_models,
     }

@@ -1,0 +1,69 @@
+"""repro.cluster — multi-process workers for sweeps and GIL-free serving.
+
+Everything here is pure stdlib process plumbing over the rest of the
+system; no new dependency, no sockets between supervisor and workers
+(stdin/stdout pipes carry a typed, versioned JSON-lines protocol).
+
+Three capabilities:
+
+* :class:`WorkerPool` — spawn N ``python -m repro.cluster.worker``
+  processes and drive them through one typed call interface with
+  heartbeats, task timeouts, restart-on-crash and retry-on-death
+  (:mod:`repro.cluster.pool`, :mod:`repro.cluster.worker`,
+  :mod:`repro.cluster.protocol`);
+* **distributed sweeps** — ``repro experiment --shard i/N`` runs the
+  deterministic shard ``i`` of a :class:`repro.api.SweepSpec` and ``repro
+  merge-reports`` reassembles the shards into a report byte-identical to
+  the serial run (:mod:`repro.cluster.sweeps`);
+* **multi-process serving** — ``repro serve --workers N`` puts a parent
+  HTTP front door over N router workers sharing one spilled cache
+  directory, with worker-labelled aggregated metrics and 503 shedding
+  while the fleet is mid-restart (:mod:`repro.cluster.serve`).
+"""
+
+from .pool import (
+    ClusterUnavailable,
+    PoolStats,
+    RemoteError,
+    TaskTimeout,
+    WorkerDied,
+    WorkerError,
+    WorkerPool,
+)
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+from .serve import ClusterHttpServer, serve_cluster
+from .sweeps import (
+    ShardReport,
+    merge_shard_files,
+    merge_shard_reports,
+    run_sweep_shard,
+    spec_hash,
+)
+
+__all__ = [
+    "WorkerPool",
+    "PoolStats",
+    "WorkerError",
+    "WorkerDied",
+    "TaskTimeout",
+    "ClusterUnavailable",
+    "RemoteError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "MAX_MESSAGE_BYTES",
+    "encode_message",
+    "decode_message",
+    "ClusterHttpServer",
+    "serve_cluster",
+    "ShardReport",
+    "spec_hash",
+    "run_sweep_shard",
+    "merge_shard_reports",
+    "merge_shard_files",
+]

@@ -1,0 +1,570 @@
+"""The :class:`WorkerPool` supervisor: N worker processes, one contract.
+
+The pool spawns ``count`` copies of ``python -m repro.cluster.worker``,
+speaks the versioned JSON-lines protocol over their stdin/stdout pipes,
+and turns a fleet of crashable processes into one dependable callable:
+
+* **dispatch** — :meth:`WorkerPool.call` round-robins ops across healthy
+  workers and returns the result (or raises the worker's typed error);
+* **heartbeats** — an idle worker is pinged every ``heartbeat_interval``
+  seconds; a worker that stops answering is killed and restarted;
+* **task timeouts** — an op that exceeds its deadline gets its worker
+  killed (the worker is single-threaded; the op *is* the worker) and
+  raises :class:`TaskTimeout`;
+* **restart-on-crash** — a worker that dies (crash, kill, OOM) is
+  respawned with its ``init_ops`` replayed (e.g. re-``load`` its serving
+  artifacts), up to ``max_restarts`` times; in-flight calls on the dead
+  worker fail with :class:`WorkerDied` and — because every op this system
+  sends is a deterministic, idempotent function of its arguments —
+  :meth:`call` transparently retries them on a surviving worker.  One
+  dying worker degrades throughput; it does not fail a single request.
+* **shedding** — when *no* worker is healthy (all mid-restart or dead),
+  :meth:`call` raises :class:`ClusterUnavailable`, which the serving
+  front door maps to a 503.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs.stats import Stats, StatsSource
+from .protocol import ProtocolError, decode_message, encode_message, request
+
+#: default bound on one op round trip (generous: a sweep shard trains).
+DEFAULT_TASK_TIMEOUT = 300.0
+
+#: default idle-worker heartbeat cadence.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+#: how long an idle worker may take to answer a ping before it is
+#: declared wedged and restarted.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+#: default respawn budget per worker slot.
+DEFAULT_MAX_RESTARTS = 3
+
+#: how long a respawned worker may take to replay its init ops.
+DEFAULT_INIT_TIMEOUT = 300.0
+
+
+class WorkerError(RuntimeError):
+    """Base class for everything the pool can raise about a task."""
+
+
+class WorkerDied(WorkerError):
+    """The worker exited (crash or kill) before answering the op."""
+
+
+class TaskTimeout(WorkerError):
+    """The op outlived its deadline; its worker was killed and restarted."""
+
+
+class ClusterUnavailable(WorkerError):
+    """No healthy worker exists right now (all dead or mid-restart)."""
+
+
+class RemoteError(WorkerError):
+    """The op raised inside the worker; ``error_type`` names the class."""
+
+    def __init__(self, message: str, error_type: str) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+@dataclass
+class PoolStats(Stats):
+    """Supervisor counters plus one entry per worker slot."""
+
+    count: int = 0
+    healthy: int = 0
+    tasks: int = 0
+    retries: int = 0
+    failures: int = 0
+    restarts: int = 0
+    workers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+class _Worker:
+    """One worker slot: a process, its pipes, and its reader thread."""
+
+    def __init__(self, pool: "WorkerPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self.name = f"w{index}"
+        self.lock = threading.Lock()  # guards writes + pending bookkeeping
+        self.process: Optional[subprocess.Popen] = None
+        self.reader: Optional[threading.Thread] = None
+        self.pending: Dict[int, Future] = {}
+        self.healthy = False
+        self.retired = False  # out of restart budget; never respawned
+        self.restarts = 0
+        self.tasks_done = 0
+        self.last_active = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def spawn(self) -> None:
+        """Start the process and its reader; replay the pool's init ops."""
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cluster.worker", "--worker-id", self.name],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker tracebacks surface on the parent's stderr
+            env=env,
+            bufsize=0,
+        )
+        with self.lock:
+            self.process = process
+            self.pending = {}
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(process,),
+            name=f"repro-cluster-reader-{self.name}",
+            daemon=True,
+        )
+        self.reader = reader
+        reader.start()
+        for op, args in self.pool.init_ops:
+            future = self.send(op, args)
+            future.result(timeout=self.pool.init_timeout)
+        self.last_active = time.monotonic()
+        self.healthy = True
+
+    def kill(self) -> None:
+        """Force the process down; the reader thread handles the fallout.
+
+        Health is cleared *before* the signal lands so callers polling
+        ``healthy_workers()`` never see a doomed worker as routable in the
+        window between the SIGKILL and the reader thread observing EOF.
+        """
+        self.healthy = False
+        with self.lock:
+            process = self.process
+        if process is not None and process.poll() is None:
+            process.kill()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Polite stop: ask, wait, then kill."""
+        self.healthy = False
+        with self.lock:
+            process = self.process
+        if process is None:
+            return
+        if process.poll() is None:
+            try:
+                future = self.send("shutdown", {})
+                future.result(timeout=timeout)
+            except (WorkerError, FutureTimeout, OSError):
+                pass
+            try:
+                process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+    def send(self, op: str, args: Mapping[str, Any]) -> "Future[Any]":
+        """Write one request; the reader resolves the returned future."""
+        future: "Future[Any]" = Future()
+        with self.lock:
+            process = self.process
+            if process is None or process.poll() is not None or process.stdin is None:
+                raise WorkerDied(f"worker {self.name} is not running")
+            request_id = self.pool._next_id()
+            self.pending[request_id] = future
+            try:
+                process.stdin.write(encode_message(request(request_id, op, args)))
+                process.stdin.flush()
+            except (BrokenPipeError, OSError):
+                self.pending.pop(request_id, None)
+                raise WorkerDied(f"worker {self.name} pipe is closed") from None
+        return future
+
+    def _read_loop(self, process: subprocess.Popen) -> None:
+        stdout = process.stdout
+        assert stdout is not None
+        while True:
+            line = stdout.readline()
+            if not line:
+                break
+            try:
+                message = decode_message(line)
+            except ProtocolError as error:
+                # A worker speaking another protocol version (or emitting
+                # garbage) cannot be trusted with tasks: fail loudly.
+                self.pool._note_protocol_error(self, error)
+                break
+            request_id = int(message.get("id", -1))
+            with self.lock:
+                future = self.pending.pop(request_id, None)
+                self.tasks_done += 1
+                self.last_active = time.monotonic()
+            if future is None:
+                continue  # response for a request a timeout already failed
+            if message.get("ok"):
+                future.set_result(message.get("result"))
+            else:
+                future.set_exception(
+                    RemoteError(
+                        str(message.get("error", "")),
+                        str(message.get("error_type", "RemoteError")),
+                    )
+                )
+        # EOF: the worker exited (clean shutdown, crash, or kill).
+        self.healthy = False
+        with self.lock:
+            doomed = list(self.pending.values())
+            self.pending = {}
+        for future in doomed:
+            if not future.done():
+                future.set_exception(
+                    WorkerDied(f"worker {self.name} died with the op in flight")
+                )
+        self.pool._on_worker_exit(self, process)
+
+    def describe(self) -> Dict[str, object]:
+        with self.lock:
+            process = self.process
+            pending = len(self.pending)
+        return {
+            "name": self.name,
+            "pid": process.pid if process is not None else None,
+            "alive": process is not None and process.poll() is None,
+            "healthy": self.healthy,
+            "retired": self.retired,
+            "restarts": self.restarts,
+            "tasks_done": self.tasks_done,
+            "pending": pending,
+        }
+
+
+class WorkerPool(StatsSource):
+    """Supervise N worker processes behind one typed call interface.
+
+    ``init_ops`` is a list of ``(op, args)`` pairs replayed into every
+    fresh worker — at first spawn and after every restart — which is how
+    serving workers re-``load`` their artifacts after a crash.  The pool
+    is a context manager; ``stop()`` shuts workers down politely and
+    kills stragglers.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        init_ops: Optional[Sequence[Tuple[str, Mapping[str, Any]]]] = None,
+        task_timeout: float = DEFAULT_TASK_TIMEOUT,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        init_timeout: float = DEFAULT_INIT_TIMEOUT,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.count = count
+        self.init_ops: List[Tuple[str, Dict[str, Any]]] = [
+            (str(op), dict(args)) for op, args in (init_ops or [])
+        ]
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max_restarts
+        self.init_timeout = init_timeout
+        self._workers = [_Worker(self, index) for index in range(count)]
+        self._lock = threading.Lock()
+        self._id_counter = 0
+        self._rr = 0
+        self._tasks = 0
+        self._retries = 0
+        self._failures = 0
+        self._restarts = 0
+        self._started = False
+        self._stopping = False
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_wake = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        if self._started:
+            raise RuntimeError("pool is already started")
+        self._started = True
+        self._stopping = False
+        try:
+            for worker in self._workers:
+                worker.spawn()
+        except BaseException:
+            self._stopping = True
+            for worker in self._workers:
+                worker.kill()
+            raise
+        self._heartbeat_wake.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-cluster-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stopping = True
+        self._heartbeat_wake.set()
+        thread = self._heartbeat_thread
+        if thread is not None:
+            thread.join(timeout)
+            self._heartbeat_thread = None
+        for worker in self._workers:
+            worker.shutdown(timeout=min(timeout, 5.0))
+        self._started = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def call(
+        self,
+        op: str,
+        args: Optional[Mapping[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        worker: Optional[str] = None,
+    ) -> Any:
+        """Run one op and return its result.
+
+        Dispatch is round-robin over healthy workers (or pinned with
+        ``worker=``).  :class:`WorkerDied` failures are retried on another
+        worker up to ``retries`` times — safe because every op in this
+        system is an idempotent function of its arguments — so an induced
+        crash degrades latency, never correctness.  Raises
+        :class:`TaskTimeout` (after killing the wedged worker),
+        :class:`RemoteError` for in-worker exceptions, and
+        :class:`ClusterUnavailable` when no worker is healthy.
+        """
+        args = dict(args or {})
+        deadline = self.task_timeout if timeout is None else timeout
+        attempts = max(1, retries + 1)
+        last_death: Optional[WorkerDied] = None
+        for attempt in range(attempts):
+            target = self._pick(worker)
+            with self._lock:
+                self._tasks += 1
+                if attempt:
+                    self._retries += 1
+            try:
+                future = target.send(op, args)
+            except WorkerDied as error:
+                last_death = error
+                continue
+            try:
+                return future.result(timeout=deadline)
+            except WorkerDied as error:
+                last_death = error
+                if worker is not None:
+                    break  # a pinned call must not silently move hosts
+                continue
+            except FutureTimeout:
+                with self._lock:
+                    self._failures += 1
+                # The worker is single-threaded: the only way to reclaim
+                # it from a wedged op is to kill it (the exit handler
+                # respawns it).
+                target.kill()
+                raise TaskTimeout(
+                    f"op {op!r} exceeded {deadline}s on worker {target.name}"
+                ) from None
+            except RemoteError:
+                with self._lock:
+                    self._failures += 1
+                raise
+        with self._lock:
+            self._failures += 1
+        raise last_death if last_death is not None else ClusterUnavailable(
+            "no healthy worker accepted the op"
+        )
+
+    def broadcast(
+        self,
+        op: str,
+        args: Optional[Mapping[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one op on every healthy worker; maps worker name → result.
+
+        Workers that die or error mid-op are simply absent from the
+        result — a broadcast is an observation, not a transaction.
+        """
+        args = dict(args or {})
+        deadline = self.task_timeout if timeout is None else timeout
+        futures: List[Tuple[str, "Future[Any]"]] = []
+        for worker in self._workers:
+            if not worker.healthy:
+                continue
+            try:
+                futures.append((worker.name, worker.send(op, args)))
+            except WorkerDied:
+                continue
+        results: Dict[str, Any] = {}
+        for name, future in futures:
+            try:
+                results[name] = future.result(timeout=deadline)
+            except (WorkerError, FutureTimeout):
+                continue
+        return results
+
+    def kill_worker(self, name: str) -> bool:
+        """SIGKILL one worker by name (crash-recovery tests/benchmarks)."""
+        for worker in self._workers:
+            if worker.name == name:
+                worker.kill()
+                return True
+        return False
+
+    def healthy_workers(self) -> List[str]:
+        return [worker.name for worker in self._workers if worker.healthy]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> PoolStats:
+        with self._lock:
+            tasks, retries = self._tasks, self._retries
+            failures, restarts = self._failures, self._restarts
+        described = {worker.name: worker.describe() for worker in self._workers}
+        return PoolStats(
+            count=self.count,
+            healthy=sum(1 for entry in described.values() if entry["healthy"]),
+            tasks=tasks,
+            retries=retries,
+            failures=failures,
+            restarts=restarts,
+            workers=described,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    def _pick(self, name: Optional[str]) -> _Worker:
+        with self._lock:
+            if name is not None:
+                for worker in self._workers:
+                    if worker.name == name:
+                        if not worker.healthy:
+                            raise ClusterUnavailable(
+                                f"worker {name} is not healthy right now"
+                            )
+                        return worker
+                raise KeyError(f"unknown worker {name!r}")
+            for offset in range(len(self._workers)):
+                worker = self._workers[(self._rr + offset) % len(self._workers)]
+                if worker.healthy:
+                    self._rr = (self._rr + offset + 1) % len(self._workers)
+                    return worker
+        raise ClusterUnavailable(
+            "no healthy worker (all dead or mid-restart); retry shortly"
+        )
+
+    def _on_worker_exit(self, worker: _Worker, process: subprocess.Popen) -> None:
+        """Reader-thread callback when a worker's pipe reaches EOF."""
+        if self._stopping:
+            return
+        with worker.lock:
+            if worker.process is not process:
+                return  # a stale reader from a previous generation
+        if worker.restarts >= self.max_restarts:
+            worker.retired = True
+            print(
+                f"repro.cluster: worker {worker.name} exceeded "
+                f"{self.max_restarts} restarts; retiring the slot",
+                file=sys.stderr,
+            )
+            return
+        worker.restarts += 1
+        with self._lock:
+            self._restarts += 1
+        threading.Thread(
+            target=self._respawn,
+            args=(worker,),
+            name=f"repro-cluster-respawn-{worker.name}",
+            daemon=True,
+        ).start()
+
+    def _respawn(self, worker: _Worker) -> None:
+        try:
+            process = worker.process
+            if process is not None:
+                process.wait(timeout=10.0)
+            if not self._stopping:
+                worker.spawn()
+        except Exception as error:
+            print(
+                f"repro.cluster: respawn of worker {worker.name} failed: {error}",
+                file=sys.stderr,
+            )
+            # One more chance through the same path, until the budget runs
+            # out; a worker whose init op keeps failing retires loudly.
+            if worker.process is not None:
+                self._on_worker_exit(worker, worker.process)
+
+    def _note_protocol_error(self, worker: _Worker, error: ProtocolError) -> None:
+        print(
+            f"repro.cluster: worker {worker.name} protocol error: {error}; "
+            "killing the worker",
+            file=sys.stderr,
+        )
+        worker.kill()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._heartbeat_wake.wait(timeout=self.heartbeat_interval):
+            for worker in self._workers:
+                if not worker.healthy or self._stopping:
+                    continue
+                with worker.lock:
+                    busy = bool(worker.pending)
+                    idle_for = time.monotonic() - worker.last_active
+                if busy or idle_for < self.heartbeat_interval:
+                    # Busy workers are covered by task timeouts; pinging a
+                    # single-threaded worker mid-op would only queue up.
+                    continue
+                try:
+                    worker.send("ping", {}).result(timeout=self.heartbeat_timeout)
+                except (WorkerError, FutureTimeout, OSError):
+                    if not self._stopping:
+                        worker.kill()  # the exit handler respawns it

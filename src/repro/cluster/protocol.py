@@ -1,0 +1,87 @@
+"""Typed, versioned JSON-lines protocol between supervisor and workers.
+
+One message per line, UTF-8 JSON, over the worker's stdin/stdout pipes —
+no sockets to leak, no ports to collide, and a dead pipe *is* the death
+signal (the supervisor's reader sees EOF the instant a worker exits).
+
+Requests and responses are plain dicts with a mandatory version field::
+
+    {"v": 1, "id": 7, "op": "predict", "args": {...}}            # request
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}              # success
+    {"v": 1, "id": 7, "ok": false, "error": "...",
+     "error_type": "UnknownShard"}                               # failure
+
+``id`` correlates a response to its request, so a caller can pipeline
+several requests down one pipe; ``error_type`` carries the exception class
+name so the supervisor can map failures back to typed errors (overload,
+unknown shard) instead of string-matching.  A version mismatch — an old
+worker binary behind a new supervisor, or vice versa — is rejected loudly
+with :class:`ProtocolError` rather than misinterpreted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+#: bumped whenever the message schema changes; both ends must agree.
+PROTOCOL_VERSION = 1
+
+#: cap on one encoded message line; a worker reading an absurd line is
+#: better off dying loudly than allocating without bound.
+MAX_MESSAGE_BYTES = 64 << 20
+
+
+class ProtocolError(RuntimeError):
+    """A message violated the wire protocol (bad JSON, wrong version)."""
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    raw = (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+    if len(raw) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(raw)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    return raw
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse and validate one line; raises :class:`ProtocolError` loudly."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"message is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"this end speaks {PROTOCOL_VERSION}"
+        )
+    return message
+
+
+def request(request_id: int, op: str, args: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "id": int(request_id), "op": str(op), "args": dict(args or {})}
+
+
+def response_ok(request_id: int, result: Any) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "id": int(request_id), "ok": True, "result": result}
+
+
+def response_error(request_id: int, error: str, error_type: str) -> Dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": int(request_id),
+        "ok": False,
+        "error": str(error),
+        "error_type": str(error_type),
+    }

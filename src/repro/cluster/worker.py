@@ -1,0 +1,300 @@
+"""Worker-process entry point: ``python -m repro.cluster.worker``.
+
+A worker is one protocol loop over stdin/stdout (see
+:mod:`repro.cluster.protocol`): read a request line, execute the op,
+write the response line.  Ops are executed strictly in order — a worker
+is single-threaded by design, which is the whole point of running N of
+them (each owns its own GIL).
+
+Supported ops:
+
+``ping``
+    liveness heartbeat; returns pid, worker id and uptime.
+``run_shard``
+    execute one deterministic shard of a :class:`repro.api.SweepSpec`
+    (``args: {"spec": ..., "shard_index": i, "shard_count": n}``) and
+    return the :class:`repro.cluster.sweeps.ShardReport` payload.
+``load``
+    build and start a :class:`repro.serving.ShardRouter` over serving
+    artifacts (``args: {"artifacts": [...], "cache_dir": ..., "serve":
+    {...}}``), warming the shared operator/trace cache directory first
+    and spilling freshly-computed entries back into it after the load.
+``predict``
+    route one request through the loaded router; returns predictions,
+    latency and per-stage spans.
+``stats``
+    the worker's router snapshot plus worker identity.
+``spill``
+    re-spill the operator/trace caches into the shared cache directory.
+``crash``
+    exit immediately without cleanup (``os._exit``) — the supervisor's
+    crash-recovery test/benchmark hook.
+``sleep``
+    block for ``args["seconds"]`` — the supervisor's task-timeout hook.
+``shutdown``
+    acknowledge, then exit the loop cleanly.
+
+The worker traps SIGTERM/SIGINT: when idle it exits immediately; when an
+op is mid-flight it finishes the op, writes the response, and exits then
+— a supervisor-initiated restart never swallows an answer it could have
+delivered.  Stray library prints cannot corrupt the protocol stream:
+``sys.stdout`` is rebound to stderr at startup and the protocol writes go
+to the original file descriptor only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, List, Optional
+
+from .protocol import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    response_error,
+    response_ok,
+)
+
+
+class _State:
+    """Everything one worker process holds between ops."""
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.started_at = time.time()
+        self.router = None
+        self.cache_dir: Optional[str] = None
+        self.ops_done = 0
+        #: set by the signal handler while an op is executing; checked
+        #: after the response is written.
+        self.drain_requested = False
+        self.in_flight = False
+
+
+def _op_ping(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "worker": state.worker_id,
+        "pid": os.getpid(),
+        "uptime_s": round(time.time() - state.started_at, 3),
+        "ops_done": state.ops_done,
+        "serving": state.router is not None,
+    }
+
+
+def _op_run_shard(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    from ..api.config import SweepSpec
+    from .sweeps import run_sweep_shard
+
+    spec = SweepSpec.from_dict(args["spec"])
+    report = run_sweep_shard(
+        spec, int(args["shard_index"]), int(args["shard_count"])
+    )
+    return report.as_dict()
+
+
+def _spill_caches(state: _State) -> Dict[str, int]:
+    """Spill both caches into the shared directory (atomic, skip-existing)."""
+    if state.router is None or state.cache_dir is None:
+        return {"operators": 0, "traces": 0}
+    spilled = state.router.operator_cache.spill(state.cache_dir)
+    traces = 0
+    if state.router.trace_cache is not None:
+        traces = state.router.trace_cache.spill(Path(state.cache_dir) / "traces")
+    return {"operators": spilled, "traces": traces}
+
+
+def _op_load(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    from ..api.config import ServeConfig
+    from ..api.session import Session
+
+    if state.router is not None:
+        state.router.stop()
+        state.router = None
+    serve_kwargs = dict(args.get("serve") or {})
+    if isinstance(serve_kwargs.get("http"), dict):
+        from ..api.config import HttpConfig
+
+        serve_kwargs["http"] = HttpConfig(**serve_kwargs["http"])
+    config = ServeConfig(**serve_kwargs)
+    cache_dir = args.get("cache_dir")
+    router = Session(serve=config).serve(*args["artifacts"], cache_dir=cache_dir)
+    router.start()
+    state.router = router
+    state.cache_dir = cache_dir
+    # Spill-on-load: whoever preprocessed (or compiled) first shares the
+    # result; entries already on disk are skipped, concurrent writers are
+    # safe (atomic rename), so no coordination between workers is needed.
+    spilled = _spill_caches(state)
+    return {
+        "worker": state.worker_id,
+        "shards": [
+            {
+                "name": info.name,
+                "model": info.model_name,
+                "fingerprint": info.fingerprint,
+            }
+            for info in router.shards()
+        ],
+        "warmed": router.operator_cache.stats().hits,
+        "spilled": spilled,
+    }
+
+
+def _require_router(state: _State):
+    if state.router is None:
+        raise RuntimeError("no router loaded; send a 'load' op first")
+    return state.router
+
+
+def _op_predict(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    router = _require_router(state)
+    node_ids = args.get("node_ids")
+    shard = args.get("shard")
+    timeout = float(args.get("timeout", 60.0))
+    info = router.resolve(shard=shard)
+    ticket = router.submit(node_ids, shard=info.name, timeout=timeout)
+    predictions = ticket.result(timeout=timeout)
+    spans = ticket.spans()
+    return {
+        "worker": state.worker_id,
+        "shard": info.name,
+        "predictions": predictions.tolist(),
+        "latency_ms": round(1e3 * (ticket.latency_seconds or 0.0), 4),
+        "spans": {stage: round(value, 4) for stage, value in spans.items()},
+    }
+
+
+def _op_stats(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    router = state.router
+    shards: List[Dict[str, Any]] = []
+    if router is not None:
+        shards = [
+            {
+                "name": info.name,
+                "model": info.model_name,
+                "fingerprint": info.fingerprint,
+            }
+            for info in router.shards()
+        ]
+    return {
+        "worker": state.worker_id,
+        "pid": os.getpid(),
+        "uptime_s": round(time.time() - state.started_at, 3),
+        "ops_done": state.ops_done,
+        "shards": shards,
+        "router": router.snapshot() if router is not None else None,
+    }
+
+
+def _op_spill(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    _require_router(state)
+    return _spill_caches(state)
+
+
+def _op_crash(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    os._exit(int(args.get("code", 13)))
+
+
+def _op_sleep(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    time.sleep(float(args.get("seconds", 0.0)))
+    return {"slept": float(args.get("seconds", 0.0))}
+
+
+def _op_shutdown(state: _State, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"worker": state.worker_id, "bye": True}
+
+
+_OPS = {
+    "ping": _op_ping,
+    "run_shard": _op_run_shard,
+    "load": _op_load,
+    "predict": _op_predict,
+    "stats": _op_stats,
+    "spill": _op_spill,
+    "crash": _op_crash,
+    "sleep": _op_sleep,
+    "shutdown": _op_shutdown,
+}
+
+
+def _serve_loop(state: _State, stdin: BinaryIO, stdout: BinaryIO) -> int:
+    while True:
+        line = stdin.readline()
+        if not line:
+            return 0  # supervisor closed the pipe (or died): exit quietly
+        if not line.strip():
+            continue
+        try:
+            message = decode_message(line)
+        except ProtocolError as error:
+            # Unversioned garbage has no id to correlate; answer loudly
+            # with id -1 so the supervisor can log it, then keep serving.
+            stdout.write(encode_message(response_error(-1, str(error), "ProtocolError")))
+            stdout.flush()
+            continue
+        request_id = int(message.get("id", -1))
+        op = message.get("op")
+        handler = _OPS.get(op)
+        state.in_flight = True
+        try:
+            if handler is None:
+                response = response_error(
+                    request_id, f"unknown op {op!r}; known: {sorted(_OPS)}", "UnknownOp"
+                )
+            else:
+                result = handler(state, message.get("args") or {})
+                response = response_ok(request_id, result)
+        except SystemExit:
+            raise
+        except BaseException as error:
+            response = response_error(
+                request_id, str(error) or type(error).__name__, type(error).__name__
+            )
+        finally:
+            state.in_flight = False
+        state.ops_done += 1
+        stdout.write(encode_message(response))
+        stdout.flush()
+        if op == "shutdown" or state.drain_requested:
+            return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cluster.worker")
+    parser.add_argument("--worker-id", default=f"pid{os.getpid()}")
+    args = parser.parse_args(argv)
+
+    # The protocol owns the real stdout; reroute stray prints to stderr.
+    stdout = sys.stdout.buffer
+    sys.stdout = sys.stderr
+    stdin = sys.stdin.buffer
+
+    state = _State(args.worker_id)
+
+    def _on_signal(signum, frame) -> None:
+        if state.in_flight:
+            # Finish the op and deliver its response, then exit — a
+            # restart must never swallow an answer already being computed.
+            state.drain_requested = True
+        else:
+            raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    try:
+        return _serve_loop(state, stdin, stdout)
+    except SystemExit as exit_request:
+        return int(exit_request.code or 0)
+    finally:
+        if state.router is not None:
+            state.router.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

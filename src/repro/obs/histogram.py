@@ -30,7 +30,7 @@ import math
 import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Mapping, Sequence, Tuple
 
 from .stats import Stats, StatsSource
 
@@ -136,6 +136,32 @@ class HistogramStats(Stats):
             bound = BUCKET_BOUNDS_MS[index] if index < len(BUCKET_BOUNDS_MS) else math.inf
             pairs.append((bound, running))
         return tuple(pairs)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "HistogramStats":
+        """Rebuild a snapshot from its :meth:`as_dict` form.
+
+        This is the cross-process half of the merge story: worker processes
+        ship their snapshots as JSON (``Stats.as_dict`` output), and the
+        supervisor reconstructs them here before calling :meth:`merged`.
+        Derived fields (mean/quantiles) in the payload are ignored — they
+        are recomputed from the counts.  A payload whose ``counts`` length
+        does not match :data:`BUCKET_COUNT` is rejected loudly, because
+        silently merging histograms with different bucket layouts would
+        corrupt every quantile.
+        """
+        counts = tuple(int(entry) for entry in payload.get("counts", ()))
+        if len(counts) != BUCKET_COUNT:
+            raise ValueError(
+                f"histogram payload has {len(counts)} buckets, expected {BUCKET_COUNT}"
+            )
+        return cls(
+            count=int(payload.get("count", 0)),
+            sum_ms=float(payload.get("sum_ms", 0.0)),
+            min_ms=float(payload.get("min_ms", 0.0)),
+            max_ms=float(payload.get("max_ms", 0.0)),
+            counts=counts,
+        )
 
     @classmethod
     def merged(cls, parts: Iterable["HistogramStats"]) -> "HistogramStats":

@@ -17,8 +17,9 @@ adds to its stats dataclass shows up in ``/metrics`` automatically:
   ``histogram`` family (``_bucket{le=...}`` cumulative series, ``_sum``,
   ``_count``) using the stable bucket layout of
   :data:`repro.obs.histogram.BUCKET_BOUNDS_MS`;
-* the ``shards`` mapping becomes a ``shard`` label dimension rather than a
-  name component, so per-shard series aggregate the Prometheus way;
+* the ``shards`` and ``workers`` mappings become ``shard`` / ``worker``
+  label dimensions rather than name components, so per-shard series (and
+  per-worker-process series in cluster mode) aggregate the Prometheus way;
 * strings and ``None`` are skipped (they belong in ``/stats``, not in a
   numeric time series).
 
@@ -56,8 +57,11 @@ COUNTER_FIELDS = frozenset(
 )
 
 #: mappings whose keys are instance names, not field names: the key becomes
-#: a label value instead of a metric-name component.
-LABEL_DIMENSIONS = {"shards": ("shard", "shard")}
+#: a label value instead of a metric-name component.  ``workers`` nests
+#: *outside* ``shards`` in cluster snapshots, so aggregated series from N
+#: worker processes carry a ``worker`` label and never collide on shard
+#: name alone.
+LABEL_DIMENSIONS = {"shards": ("shard", "shard"), "workers": ("worker", "worker")}
 
 #: keys identifying a HistogramStats.as_dict() payload.
 _HISTOGRAM_KEYS = frozenset({"count", "sum_ms", "counts"})

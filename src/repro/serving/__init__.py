@@ -36,7 +36,7 @@ from .engine import (
     ServerOverloaded,
     ServerStats,
 )
-from .http import HttpServer, HttpStats
+from .http import BaseHttpServer, HttpServer, HttpStats
 from .fingerprint import (
     array_digest,
     graph_fingerprint,
@@ -67,6 +67,7 @@ __all__ = [
     "OperatorCache",
     "CacheStats",
     "OperatorCacheStats",
+    "BaseHttpServer",
     "HttpServer",
     "HttpStats",
     "GraphSwapTicket",

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import threading
 import zipfile
 import time
@@ -300,6 +302,33 @@ def _spill_filename(key: str) -> str:
     return hashlib.blake2b(key.encode(), digest_size=16).hexdigest() + ".npz"
 
 
+def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` payload so readers never observe a partial file.
+
+    Concurrent workers spill into one shared directory without any
+    coordination step, so two processes can decide to write the same key at
+    the same time.  A plain ``savez`` on the final path would let ``warm()``
+    in a third process open a half-written zip.  Writing to a unique
+    temporary file in the same directory and ``os.replace``-ing it into
+    place makes the final name appear atomically; the losing writer of a
+    race simply replaces the file with identical bytes (the content is a
+    deterministic function of the key).
+    """
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            np.savez_compressed(stream, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 #: everything a corrupt or foreign .npz in a cache directory can raise.
 _WARM_ERRORS = (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile)
 
@@ -387,7 +416,10 @@ class OperatorCache(StatsSource):
         whose file already exists is skipped unless ``overwrite`` is set —
         the content is a deterministic function of the key, so re-encoding
         it (e.g. on every warm benchmark run) would only burn CPU writing
-        identical bytes.  Two entry classes are skipped by design:
+        identical bytes.  Writes go through a temp-file + atomic-rename
+        path, so any number of worker processes can spill into one shared
+        directory concurrently without a coordination step — a reader never
+        sees a partial file.  Two entry classes are skipped by design:
         hand-constructed models carry a per-process ``#token`` signature
         that is meaningless in another process, and values the codec cannot
         represent (a preprocess result holding e.g. an open resource) are
@@ -416,7 +448,7 @@ class OperatorCache(StatsSource):
                     }
                 )
             )
-            np.savez_compressed(directory / _spill_filename(key), **payload)
+            _atomic_savez(directory / _spill_filename(key), payload)
             written += 1
         return written
 

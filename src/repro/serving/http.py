@@ -1,8 +1,15 @@
 """Asyncio HTTP front door over the :class:`~repro.serving.router.ShardRouter`.
 
 Pure stdlib — ``asyncio.start_server`` plus hand-rolled HTTP/1.1 framing —
-so serving over the network costs no dependency.  One
-:class:`HttpServer` exposes a registered router as:
+so serving over the network costs no dependency.  The framing, lifecycle
+and counting machinery lives in :class:`BaseHttpServer`, which subclasses
+specialise by providing a route table (:meth:`BaseHttpServer._handlers`)
+and a ``/metrics`` payload; :class:`HttpServer` is the single-process
+front door over one in-process router, and
+:class:`repro.cluster.serve.ClusterHttpServer` reuses the same base over
+a pool of worker processes.
+
+One :class:`HttpServer` exposes a registered router as:
 
 ``POST /predict``
     ``{"node_ids": [...], "shard": "..."}`` → predictions plus the
@@ -25,10 +32,12 @@ so serving over the network costs no dependency.  One
     (``?limit=`` bounds the count).
 
 The server runs its own event loop on a daemon thread —
-:meth:`HttpServer.start` returns once the socket is bound (``port=0``
-picks a free port), :meth:`HttpServer.stop` shuts it down from any
+:meth:`BaseHttpServer.start` returns once the socket is bound (``port=0``
+picks a free port), :meth:`BaseHttpServer.stop` shuts it down from any
 thread — so it composes with the synchronous training / session code
-without the caller owning an event loop.
+without the caller owning an event loop.  Shutdown *drains*: requests
+already being handled finish and deliver their responses (bounded by
+``drain_timeout``); only idle keep-alive connections are cancelled.
 """
 
 from __future__ import annotations
@@ -58,6 +67,9 @@ DEFAULT_MAX_BODY_BYTES = 1 << 20
 #: default bound on one /predict round trip through the router.
 DEFAULT_REQUEST_TIMEOUT = 60.0
 
+#: default bound on waiting for in-flight requests during shutdown.
+DEFAULT_DRAIN_TIMEOUT = 5.0
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -66,6 +78,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: routes counted by name; anything else folds into one bucket so a scan
@@ -81,7 +94,7 @@ class HttpStats(Stats):
 
     ``routes`` maps route → status code (as a string, for JSON) → count;
     unknown paths share the ``<other>`` bucket.  ``shed`` counts the 429
-    responses — the load the server refused rather than queued.
+    and 503 responses — the load the server refused rather than queued.
     """
 
     connections: int = 0
@@ -90,32 +103,40 @@ class HttpStats(Stats):
     routes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
-class HttpServer(StatsSource):
-    """Serve a :class:`ShardRouter` over HTTP/1.1 with keep-alive.
+class BaseHttpServer(StatsSource):
+    """HTTP/1.1 keep-alive server skeleton on a private event loop.
 
-    The server owns a daemon thread running a private event loop; request
-    handling awaits :meth:`ShardRouter.asubmit_ticket`, so slot waits and
-    inference never block the loop.  ``start()``/``stop()`` are safe to
-    call from synchronous code; the router's lifecycle stays the caller's
-    (a stopped HTTP server leaves the router serving in-process traffic).
+    Owns everything that is not application-specific: the daemon serving
+    thread, socket lifecycle, request framing, per-route/status counters,
+    and drain-on-shutdown.  A subclass provides :meth:`_handlers` — a
+    mapping of path → (method, async handler) — and (optionally) its own
+    :meth:`metrics_text`.  ``start()``/``stop()`` are safe to call from
+    synchronous code.
+
+    ``stop()`` first closes the listener, then waits up to
+    ``drain_timeout`` seconds for requests that are mid-handler to write
+    their responses, and only then cancels whatever is left (idle
+    keep-alive connections, or handlers that overstayed the drain).
     """
 
     def __init__(
         self,
-        router: ShardRouter,
         *,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
-        self.router = router
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
         self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
         self._lock = threading.Lock()
         self._connections = 0
         self._requests = 0
@@ -125,6 +146,7 @@ class HttpServer(StatsSource):
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._active: set = set()
+        self._busy: set = set()
         self._ready = threading.Event()
         self._failure: Optional[BaseException] = None
         self._started_at = time.time()
@@ -136,7 +158,7 @@ class HttpServer(StatsSource):
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    def start(self) -> "HttpServer":
+    def start(self) -> "BaseHttpServer":
         """Bind and serve on a daemon thread; returns once the port is open."""
         if self._thread is not None:
             raise RuntimeError("HTTP server is already started")
@@ -156,7 +178,7 @@ class HttpServer(StatsSource):
         return self
 
     def stop(self, timeout: Optional[float] = 10.0) -> None:
-        """Shut the listener down and join the serving thread."""
+        """Stop listening, drain in-flight requests, join the thread."""
         thread = self._thread
         if thread is None:
             return
@@ -166,7 +188,7 @@ class HttpServer(StatsSource):
         thread.join(timeout)
         self._thread = None
 
-    def __enter__(self) -> "HttpServer":
+    def __enter__(self) -> "BaseHttpServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -195,8 +217,14 @@ class HttpServer(StatsSource):
         self._ready.set()
         async with server:
             await self._shutdown.wait()
-        # Idle keep-alive connections outlive the listener; cancel them so
-        # nothing still owns the transports when the loop closes.
+        # Drain: a request that is mid-handler gets to finish and deliver
+        # its response — killing it would turn a graceful restart into a
+        # dropped request.  Only after the drain window do we cancel what
+        # is left (idle keep-alive connections, overstaying handlers).
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self.drain_timeout
+        while self._busy and loop.time() < deadline:
+            await asyncio.sleep(0.01)
         for task in list(self._active):
             task.cancel()
         if self._active:
@@ -219,20 +247,20 @@ class HttpServer(StatsSource):
             route = _OTHER_ROUTE
         with self._lock:
             self._requests += 1
-            if status == 429:
+            if status in (429, 503):
                 self._shed += 1
             by_status = self._routes.setdefault(route, {})
             key = str(status)
             by_status[key] = by_status.get(key, 0) + 1
 
-    def metrics_text(self) -> str:
-        """The ``/metrics`` payload: router snapshot + HTTP counters."""
+    def _http_metrics_lines(self) -> str:
+        """Prometheus exposition of the base HTTP counters."""
         stats = self.stats()
         lines = [
             "# HELP repro_http_connections_total TCP connections accepted",
             "# TYPE repro_http_connections_total counter",
             f"repro_http_connections_total {stats.connections}",
-            "# HELP repro_http_shed_total requests answered 429 under back-pressure",
+            "# HELP repro_http_shed_total requests answered 429/503 under back-pressure",
             "# TYPE repro_http_shed_total counter",
             f"repro_http_shed_total {stats.shed}",
             "# HELP repro_http_requests_total HTTP requests by route and status",
@@ -247,11 +275,11 @@ class HttpServer(StatsSource):
                 lines.append(
                     f"repro_http_requests_total{{{labels}}} {stats.routes[route][status]}"
                 )
-        return (
-            render_prometheus(self.router.snapshot(), prefix="repro_router")
-            + "\n".join(lines)
-            + "\n"
-        )
+        return "\n".join(lines) + "\n"
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload; subclasses prepend their own series."""
+        return self._http_metrics_lines()
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -266,7 +294,8 @@ class HttpServer(StatsSource):
             self._connections += 1
         try:
             while await self._handle_one(reader, writer):
-                pass
+                if self._shutdown is not None and self._shutdown.is_set():
+                    break  # draining: no new requests on this connection
         except (
             asyncio.IncompleteReadError,
             ConnectionResetError,
@@ -279,6 +308,7 @@ class HttpServer(StatsSource):
         finally:
             if task is not None:
                 self._active.discard(task)
+                self._busy.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -296,6 +326,23 @@ class HttpServer(StatsSource):
             return False
         if not request_line:
             return False  # clean EOF between requests
+        # From here this connection is mid-request: the drain in _amain
+        # waits for it to write its response before tearing anything down.
+        task = asyncio.current_task()
+        if task is not None:
+            self._busy.add(task)
+        try:
+            return await self._serve_request(request_line, reader, writer)
+        finally:
+            if task is not None:
+                self._busy.discard(task)
+
+    async def _serve_request(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
         parts = request_line.decode("latin-1", "replace").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             await self._respond(writer, _OTHER_ROUTE, 400, {"error": "malformed request line"}, close=True)
@@ -377,17 +424,16 @@ class HttpServer(StatsSource):
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
+    def _handlers(
+        self,
+    ) -> Dict[str, Tuple[str, Callable[..., Awaitable[Tuple[int, object]]]]]:
+        """path → (expected method, async handler); provided by subclasses."""
+        raise NotImplementedError
+
     async def _route(
         self, method: str, path: str, query: str, body: bytes
     ) -> Tuple[int, object]:
-        handlers: Dict[str, Tuple[str, Callable[..., Awaitable[Tuple[int, object]]]]] = {
-            "/predict": ("POST", self._handle_predict),
-            "/health": ("GET", self._handle_health),
-            "/shards": ("GET", self._handle_shards),
-            "/stats": ("GET", self._handle_stats),
-            "/metrics": ("GET", self._handle_metrics),
-            "/traces": ("GET", self._handle_traces),
-        }
+        handlers = self._handlers()
         entry = handlers.get(path)
         if entry is None:
             return 404, {"error": f"unknown path {path!r}", "routes": list(handlers)}
@@ -398,6 +444,54 @@ class HttpServer(StatsSource):
             return await handler(query=query, body=body)
         except Exception as error:  # a handler bug must not kill the loop
             return 500, {"error": f"{type(error).__name__}: {error}"}
+
+
+class HttpServer(BaseHttpServer):
+    """Serve one in-process :class:`ShardRouter` over HTTP/1.1.
+
+    Request handling awaits :meth:`ShardRouter.asubmit_ticket`, so slot
+    waits and inference never block the loop.  The router's lifecycle
+    stays the caller's (a stopped HTTP server leaves the router serving
+    in-process traffic).
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            max_body_bytes=max_body_bytes,
+            request_timeout=request_timeout,
+            drain_timeout=drain_timeout,
+        )
+        self.router = router
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: router snapshot + HTTP counters."""
+        return (
+            render_prometheus(self.router.snapshot(), prefix="repro_router")
+            + self._http_metrics_lines()
+        )
+
+    def _handlers(
+        self,
+    ) -> Dict[str, Tuple[str, Callable[..., Awaitable[Tuple[int, object]]]]]:
+        return {
+            "/predict": ("POST", self._handle_predict),
+            "/health": ("GET", self._handle_health),
+            "/shards": ("GET", self._handle_shards),
+            "/stats": ("GET", self._handle_stats),
+            "/metrics": ("GET", self._handle_metrics),
+            "/traces": ("GET", self._handle_traces),
+        }
 
     async def _handle_health(self, *, query: str, body: bytes) -> Tuple[int, object]:
         return 200, {

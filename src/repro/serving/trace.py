@@ -54,6 +54,7 @@ from .cache import (
     SPILL_FORMAT_VERSION,
     CacheStats,
     LRUCache,
+    _atomic_savez,
     _decode,
     _encode,
     _spill_filename,
@@ -748,7 +749,8 @@ class TraceCache(StatsSource):
         Mirrors :meth:`repro.serving.cache.OperatorCache.spill`: one
         ``.npz`` per program named by a digest of its key, per-process
         ``#token`` signatures skipped, existing files reused unless
-        ``overwrite``.
+        ``overwrite``, and temp-file + atomic-rename writes so concurrent
+        workers can spill into one shared directory without corruption.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -775,7 +777,7 @@ class TraceCache(StatsSource):
                     }
                 )
             )
-            np.savez_compressed(path, **payload)
+            _atomic_savez(path, payload)
             written += 1
         return written
 

@@ -182,3 +182,54 @@ class TestServeBenchCacheDir:
         assert cli_main(args) == 0
         second = capsys.readouterr().out
         assert "1 preprocess entry reused at load" in second
+
+
+_RACE_SCRIPT = """
+import sys
+
+from repro.datasets import load_dataset
+from repro.models.registry import create_model
+from repro.serving import OperatorCache
+
+graph = load_dataset("texas")
+model = create_model("GCN", graph, hidden=8)
+cache = OperatorCache()
+cache.seed(model, graph, model.preprocess(graph))
+for _ in range(40):
+    cache.spill(sys.argv[1], overwrite=True)
+"""
+
+
+class TestConcurrentSpill:
+    def test_two_processes_spilling_the_same_dir_never_tear_a_file(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        spill_dir = tmp_path / "shared-spill"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_SCRIPT, str(spill_dir)],
+                env=env,
+                stderr=subprocess.PIPE,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+
+        # Every file in the shared dir must be a complete, loadable archive
+        # — the atomic tmp-file + rename spill cannot leave torn writes.
+        files = list(spill_dir.glob("*.npz"))
+        assert files
+        for path in files:
+            with np.load(path, allow_pickle=False) as archive:
+                assert archive.files
+        assert OperatorCache().warm(spill_dir) == 1

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -11,7 +14,7 @@ import pytest
 from repro.datasets import load_dataset
 from repro.models.registry import create_model
 from repro.obs import parse_prometheus
-from repro.serving import HttpServer, ShardRouter
+from repro.serving import BaseHttpServer, HttpServer, ShardRouter
 from repro.training import Trainer
 
 MAX_PENDING = 8
@@ -305,3 +308,76 @@ class TestSessionAndCli:
         from repro.cli import main
 
         assert main(["serve", str(tmp_path / "absent"), "--for-seconds", "0.1"]) == 2
+
+
+class _SlowServer(BaseHttpServer):
+    """Minimal BaseHttpServer subclass with one deliberately slow route."""
+
+    def _handlers(self):
+        return {"/slow": ("GET", self._handle_slow)}
+
+    async def _handle_slow(self, *, query: str, body: bytes):
+        await asyncio.sleep(0.5)
+        return 200, {"ok": True}
+
+
+class TestDrain:
+    def test_stop_drains_in_flight_requests(self):
+        server = _SlowServer(port=0, drain_timeout=5.0)
+        results = {}
+
+        def slow_client() -> None:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/slow")
+                response = connection.getresponse()
+                results["status"] = response.status
+                results["body"] = json.loads(response.read())
+            except Exception as error:  # surfaced by the assert below
+                results["error"] = error
+            finally:
+                connection.close()
+
+        with server:
+            thread = threading.Thread(target=slow_client)
+            thread.start()
+            time.sleep(0.15)  # the handler is now mid-sleep
+            server.stop()  # must wait for the response, not cancel it
+            thread.join(timeout=10)
+        assert results.get("error") is None, results
+        assert results["status"] == 200
+        assert results["body"] == {"ok": True}
+
+    def test_drain_timeout_bounds_the_wait(self):
+        # A handler that overstays the drain window is cancelled rather
+        # than holding shutdown hostage.
+        server = _SlowServer(port=0, drain_timeout=0.05)
+
+        def hung_client() -> None:
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/slow")
+                connection.getresponse().read()
+            except Exception:
+                pass  # the connection dying is the expected outcome
+            finally:
+                connection.close()
+
+        with server:
+            thread = threading.Thread(target=hung_client)
+            thread.start()
+            time.sleep(0.15)
+            started = time.monotonic()
+            server.stop()
+            elapsed = time.monotonic() - started
+            thread.join(timeout=10)
+        assert elapsed < 2.0  # bounded by drain_timeout, not the handler
+
+    def test_503_has_a_reason_phrase(self):
+        from repro.serving.http import _REASONS
+
+        assert _REASONS[503] == "Service Unavailable"
