@@ -58,7 +58,7 @@ import threading
 import time
 import zipfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -197,6 +197,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "sharing --cache-dir behind this front door (each worker owns "
              "its own GIL)",
     )
+    serve_parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="accept connect-back TCP workers on this address (port 0 picks "
+             "a free one and prints it); requires --secret-file; remote "
+             "workers fill the --workers slots instead of local forks",
+    )
+    serve_parser.add_argument(
+        "--secret-file", default=None, metavar="FILE",
+        help="file holding the shared handshake secret for --listen workers",
+    )
+    serve_parser.add_argument(
+        "--worker-host", action="append", default=None, metavar="HOST",
+        help="ssh a connect-back worker onto HOST (repeatable, one slot "
+             "each; requires --listen; the secret file must exist on HOST)",
+    )
+    serve_parser.add_argument(
+        "--ssh-python", default="python3",
+        help="python executable to run on --worker-host machines",
+    )
 
     bench_parser = subparsers.add_parser(
         "serve-bench",
@@ -270,6 +289,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--canonical", action="store_true",
         help="zero the wall-clock timing fields so reports from different "
              "runs/machines compare byte-identical",
+    )
+    experiment_parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="distribute the sweep over connect-back TCP workers registered "
+             "on this address (port 0 picks a free one and prints it); "
+             "requires --secret-file",
+    )
+    experiment_parser.add_argument(
+        "--secret-file", default=None, metavar="FILE",
+        help="file holding the shared handshake secret for --listen workers",
+    )
+    experiment_parser.add_argument(
+        "--worker-host", action="append", default=None, metavar="HOST",
+        help="ssh a connect-back worker onto HOST (repeatable; one sweep "
+             "shard each; requires --listen)",
+    )
+    experiment_parser.add_argument(
+        "--ssh-python", default="python3",
+        help="python executable to run on --worker-host machines",
     )
 
     merge_parser = subparsers.add_parser(
@@ -453,28 +491,58 @@ def _wait_for_shutdown(for_seconds: Optional[float]) -> Optional[str]:
     return fired[0] if fired else None
 
 
+def _check_remote_flags(args: argparse.Namespace) -> Optional[str]:
+    """Validate the --listen/--secret-file/--worker-host combination."""
+    if args.listen is not None and args.secret_file is None:
+        return "--listen requires --secret-file (the shared handshake secret)"
+    if args.worker_host and args.listen is None:
+        return "--worker-host requires --listen (the address workers dial back)"
+    if args.secret_file is not None and args.listen is None:
+        return "--secret-file only applies with --listen"
+    return None
+
+
 def _serve_cluster(args: argparse.Namespace) -> int:
     from concurrent.futures import TimeoutError as FutureTimeout
 
     from .cluster import WorkerError, serve_cluster
 
+    flag_error = _check_remote_flags(args)
+    if flag_error is not None:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
     compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
-    server = serve_cluster(
-        args.artifacts,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        serve=ServeConfig(
-            max_batch_size=args.batch_size,
-            max_wait_ms=args.max_wait_ms,
-            router_max_pending=args.max_pending,
-            compile=compile_mode,
-        ),
-        host=args.host,
-        port=args.port,
-    )
+    try:
+        server = serve_cluster(
+            args.artifacts,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            serve=ServeConfig(
+                max_batch_size=args.batch_size,
+                max_wait_ms=args.max_wait_ms,
+                router_max_pending=args.max_pending,
+                compile=compile_mode,
+            ),
+            host=args.host,
+            port=args.port,
+            listen=args.listen,
+            secret_file=args.secret_file,
+            worker_hosts=args.worker_host,
+            ssh_python=args.ssh_python,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot set up the cluster: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    if server.pool.listen_address is not None:
+        print(
+            f"worker listener at {server.pool.listen_address} "
+            f"(workers: python -m repro.cluster.worker "
+            f"--connect {server.pool.listen_address} --secret-file "
+            f"{args.secret_file})"
+        )
     try:
         server.start()
-    except (WorkerError, FutureTimeout, OSError) as error:
+    except (WorkerError, FutureTimeout, OSError, TimeoutError) as error:
         reason = str(error) or type(error).__name__
         print(f"error: cluster workers failed to start: {reason}", file=sys.stderr)
         print(
@@ -482,6 +550,7 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             "first failure above names the culprit",
             file=sys.stderr,
         )
+        server.pool.stop()
         return EXIT_ARTIFACT_ERROR
     try:
         print(
@@ -508,8 +577,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return EXIT_ARTIFACT_ERROR
-    if args.workers > 1:
+    if args.workers > 1 or args.listen is not None:
         return _serve_cluster(args)
+    flag_error = _check_remote_flags(args)
+    if flag_error is not None:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
     compile_mode = "auto" if args.compile is None else ("trace" if args.compile else "eager")
     session = Session(
         serve=ServeConfig(
@@ -716,12 +789,134 @@ def _command_experiment(args: argparse.Namespace) -> int:
         print(f"error: cannot load experiment spec {args.spec!r}: {reason}", file=sys.stderr)
         return EXIT_ARTIFACT_ERROR
 
+    if args.listen is not None or args.worker_host:
+        if args.shard is not None:
+            print(
+                "error: --shard and --listen/--worker-host are mutually "
+                "exclusive (a distributed run shards internally)",
+                file=sys.stderr,
+            )
+            return EXIT_ARTIFACT_ERROR
+        return _run_experiment_distributed(args, spec)
     if args.shard is not None:
         return _run_experiment_shard(args, spec)
 
     report = Session().experiment(spec)
     if args.canonical:
         report = report.canonical()
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.as_table())
+    if args.out:
+        path = report.save(args.out)
+        print(f"report: {path}")
+    return 0
+
+
+def _run_experiment_distributed(args: argparse.Namespace, spec: SweepSpec) -> int:
+    """Fan a sweep out over connect-back TCP workers and merge the shards.
+
+    Each worker runs one deterministic shard (cells ``i % N``); the merge
+    is the same spec-hash-validated path as ``merge-reports``, so the
+    result is bit-identical to the serial run in canonical form.
+    """
+    from .cluster import (
+        CONNECT_PLACEHOLDER,
+        ShardReport,
+        WorkerError,
+        WorkerPool,
+        merge_shard_reports,
+        read_secret,
+        ssh_worker_command,
+    )
+
+    flag_error = _check_remote_flags(args)
+    if flag_error is not None:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    try:
+        secret = read_secret(args.secret_file)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read secret file: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    spawn_commands = None
+    if args.worker_host:
+        spawn_commands = [
+            ssh_worker_command(
+                worker_host, CONNECT_PLACEHOLDER, args.secret_file,
+                python=args.ssh_python,
+            )
+            for worker_host in args.worker_host
+        ]
+        shard_count = len(spawn_commands)
+    else:
+        # Bare --listen: externally-started --connect workers fill the
+        # slots; --workers says how many to wait for (default 2).
+        shard_count = args.workers if args.workers else 2
+    try:
+        pool = WorkerPool(
+            shard_count,
+            listen=args.listen,
+            secret=secret,
+            spawn_commands=spawn_commands,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot set up the worker pool: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    print(
+        f"worker listener at {pool.listen_address}; distributing "
+        f"{len(spec.cells())} cell(s) over {shard_count} shard(s)"
+    )
+    try:
+        pool.start()
+    except (WorkerError, TimeoutError, OSError) as error:
+        reason = str(error) or type(error).__name__
+        print(f"error: cluster workers failed to start: {reason}", file=sys.stderr)
+        pool.stop()
+        return EXIT_ARTIFACT_ERROR
+    spec_payload = spec.as_dict()
+    results: List[Optional[Dict[str, object]]] = [None] * shard_count
+    errors: List[Tuple[int, Exception]] = []
+
+    def _run_shard(index: int) -> None:
+        try:
+            results[index] = pool.call(
+                "run_shard",
+                {
+                    "spec": spec_payload,
+                    "shard_index": index,
+                    "shard_count": shard_count,
+                },
+                timeout=3600.0,
+            )
+        except Exception as error:  # noqa: BLE001 — reported per shard below
+            errors.append((index, error))
+
+    try:
+        threads = [
+            threading.Thread(target=_run_shard, args=(index,), daemon=True)
+            for index in range(shard_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        pool.stop()
+    if errors:
+        for index, error in sorted(errors, key=lambda item: item[0]):
+            reason = str(error) or type(error).__name__
+            print(f"error: shard {index}/{shard_count} failed: {reason}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
+    try:
+        report = merge_shard_reports(
+            [ShardReport.from_dict(payload) for payload in results],
+            canonical=args.canonical,
+        )
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot merge shard reports: {error}", file=sys.stderr)
+        return EXIT_ARTIFACT_ERROR
     if args.json:
         print(report.to_json(indent=2))
     else:

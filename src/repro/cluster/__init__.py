@@ -1,26 +1,46 @@
-"""repro.cluster — multi-process workers for sweeps and GIL-free serving.
+"""repro.cluster — multi-process and multi-machine workers.
 
 Everything here is pure stdlib process plumbing over the rest of the
-system; no new dependency, no sockets between supervisor and workers
-(stdin/stdout pipes carry a typed, versioned JSON-lines protocol).
+system; no new dependency.  Supervisor and workers speak a typed,
+versioned JSON-lines protocol over either stdin/stdout pipes (local
+forks) or handshake-verified TCP sockets (cross-machine connect-back).
 
-Three capabilities:
+Four capabilities:
 
 * :class:`WorkerPool` — spawn N ``python -m repro.cluster.worker``
   processes and drive them through one typed call interface with
   heartbeats, task timeouts, restart-on-crash and retry-on-death
   (:mod:`repro.cluster.pool`, :mod:`repro.cluster.worker`,
   :mod:`repro.cluster.protocol`);
+* **cross-machine workers** — the same frames over TCP: the pool binds a
+  :class:`WorkerListener` (``listen="HOST:PORT"``, shared ``secret``) and
+  ``python -m repro.cluster.worker --connect HOST:PORT --secret-file F``
+  workers dial in through a mutual protocol-version + HMAC handshake;
+  :func:`ssh_worker_command` launches that command on a remote host
+  (:mod:`repro.cluster.net`);
 * **distributed sweeps** — ``repro experiment --shard i/N`` runs the
   deterministic shard ``i`` of a :class:`repro.api.SweepSpec` and ``repro
   merge-reports`` reassembles the shards into a report byte-identical to
   the serial run (:mod:`repro.cluster.sweeps`);
 * **multi-process serving** — ``repro serve --workers N`` puts a parent
-  HTTP front door over N router workers sharing one spilled cache
-  directory, with worker-labelled aggregated metrics and 503 shedding
-  while the fleet is mid-restart (:mod:`repro.cluster.serve`).
+  HTTP front door over N router workers (local, remote, or a mix), with
+  worker- and host-labelled aggregated metrics and 503 shedding while
+  the fleet is mid-restart (:mod:`repro.cluster.serve`).
 """
 
+from .net import (
+    CONNECT_PLACEHOLDER,
+    HandshakeError,
+    PipeTransport,
+    TcpTransport,
+    Transport,
+    TransportClosed,
+    WorkerListener,
+    parse_hostport,
+    read_secret,
+    ssh_worker_command,
+    worker_connect_command,
+)
 from .pool import (
     ClusterUnavailable,
     PoolStats,
@@ -59,6 +79,17 @@ __all__ = [
     "MAX_MESSAGE_BYTES",
     "encode_message",
     "decode_message",
+    "Transport",
+    "PipeTransport",
+    "TcpTransport",
+    "TransportClosed",
+    "HandshakeError",
+    "WorkerListener",
+    "CONNECT_PLACEHOLDER",
+    "parse_hostport",
+    "read_secret",
+    "worker_connect_command",
+    "ssh_worker_command",
     "ClusterHttpServer",
     "serve_cluster",
     "ShardReport",

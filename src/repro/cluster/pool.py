@@ -1,26 +1,40 @@
 """The :class:`WorkerPool` supervisor: N worker processes, one contract.
 
-The pool spawns ``count`` copies of ``python -m repro.cluster.worker``,
-speaks the versioned JSON-lines protocol over their stdin/stdout pipes,
-and turns a fleet of crashable processes into one dependable callable:
+The pool drives ``count`` workers — local ``python -m
+repro.cluster.worker`` children over stdin/stdout pipes, cross-machine
+workers over handshake-verified TCP sockets, or a mix — and turns a fleet
+of crashable processes into one dependable callable:
 
 * **dispatch** — :meth:`WorkerPool.call` round-robins ops across healthy
   workers and returns the result (or raises the worker's typed error);
 * **heartbeats** — an idle worker is pinged every ``heartbeat_interval``
-  seconds; a worker that stops answering is killed and restarted;
+  seconds with a *write timeout* on the probe (a wedged peer whose kernel
+  buffers filled up stalls that one probe, never the supervision loop); a
+  worker that stops answering is killed and restarted;
 * **task timeouts** — an op that exceeds its deadline gets its worker
   killed (the worker is single-threaded; the op *is* the worker) and
   raises :class:`TaskTimeout`;
-* **restart-on-crash** — a worker that dies (crash, kill, OOM) is
-  respawned with its ``init_ops`` replayed (e.g. re-``load`` its serving
-  artifacts), up to ``max_restarts`` times; in-flight calls on the dead
-  worker fail with :class:`WorkerDied` and — because every op this system
-  sends is a deterministic, idempotent function of its arguments —
-  :meth:`call` transparently retries them on a surviving worker.  One
-  dying worker degrades throughput; it does not fail a single request.
+* **restart-on-crash** — a worker that dies (crash, kill, OOM, dropped
+  connection) is respawned with its ``init_ops`` replayed (e.g.
+  re-``load`` its serving artifacts), up to ``max_restarts`` times;
+  in-flight calls on the dead worker fail with :class:`WorkerDied` and —
+  because every op this system sends is a deterministic, idempotent
+  function of its arguments — :meth:`call` transparently retries them on
+  a surviving worker.  One dying worker degrades throughput; it does not
+  fail a single request.
 * **shedding** — when *no* worker is healthy (all mid-restart or dead),
   :meth:`call` raises :class:`ClusterUnavailable`, which the serving
   front door maps to a 503.
+
+Cross-machine slots register *worker-first*: construct the pool with
+``listen="HOST:PORT"`` and a shared ``secret`` and it binds a
+:class:`~repro.cluster.net.WorkerListener`; each remote slot is filled by
+the next worker that dials in (``python -m repro.cluster.worker
+--connect HOST:PORT --secret-file F``) and survives the protocol-version
++ HMAC handshake.  ``spawn_commands`` optionally gives each remote slot
+an argv (see :func:`repro.cluster.net.ssh_worker_command`) the pool runs
+to *cause* that connect-back — at first spawn and after every crash —
+which is what makes remote restarts as transparent as local ones.
 """
 
 from __future__ import annotations
@@ -36,6 +50,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs.stats import Stats, StatsSource
+from .net import (
+    CONNECT_PLACEHOLDER,
+    PipeTransport,
+    TcpTransport,
+    Transport,
+    TransportClosed,
+    WorkerListener,
+)
 from .protocol import ProtocolError, decode_message, encode_message, request
 
 #: default bound on one op round trip (generous: a sweep shard trains).
@@ -53,6 +75,10 @@ DEFAULT_MAX_RESTARTS = 3
 
 #: how long a respawned worker may take to replay its init ops.
 DEFAULT_INIT_TIMEOUT = 300.0
+
+#: how long a remote slot waits for a worker to connect back (first spawn
+#: and every respawn) before the attempt counts as a failed restart.
+DEFAULT_REGISTER_TIMEOUT = 60.0
 
 
 class WorkerError(RuntimeError):
@@ -92,15 +118,113 @@ class PoolStats(Stats):
     workers: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
-class _Worker:
-    """One worker slot: a process, its pipes, and its reader thread."""
+def _worker_env() -> Dict[str, str]:
+    """The child environment with this package importable."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
 
-    def __init__(self, pool: "WorkerPool", index: int) -> None:
+
+class _PipeLauncher:
+    """Default slot launcher: fork a local worker, speak over its pipes."""
+
+    kind = "pipe"
+
+    def launch(self, worker: "_Worker") -> Transport:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cluster.worker", "--worker-id", worker.name],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker tracebacks surface on the parent's stderr
+            env=_worker_env(),
+            bufsize=0,
+        )
+        return PipeTransport(process)
+
+    def close(self) -> None:
+        pass
+
+
+class _ConnectLauncher:
+    """Remote slot launcher: (optionally spawn, then) await a connect-back.
+
+    With ``command`` set — typically :func:`~repro.cluster.net.ssh_worker_command`
+    output, with :data:`~repro.cluster.net.CONNECT_PLACEHOLDER` standing in
+    for the listener address — the launcher runs the command and waits for
+    the resulting registration; re-launching after a crash re-runs it.
+    Without a command the slot is filled by whichever externally-started
+    worker dials in next.
+    """
+
+    kind = "tcp"
+
+    def __init__(self, pool: "WorkerPool", command: Optional[Sequence[str]] = None) -> None:
+        self.pool = pool
+        self.command = [str(part) for part in command] if command is not None else None
+        self.child: Optional[subprocess.Popen] = None
+
+    def launch(self, worker: "_Worker") -> Transport:
+        listener = self.pool.listener
+        assert listener is not None
+        if self.command is not None:
+            self._reap()
+            argv = [
+                part.replace(CONNECT_PLACEHOLDER, listener.address)
+                for part in self.command
+            ]
+            self.child = subprocess.Popen(
+                argv,
+                stdin=subprocess.DEVNULL,
+                stdout=None,
+                stderr=None,  # remote/worker stderr surfaces on the parent's
+                env=_worker_env(),
+            )
+        deadline = time.monotonic() + self.pool.register_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._reap()
+                raise TimeoutError(
+                    f"no worker connected back for slot {worker.name} within "
+                    f"{self.pool.register_timeout}s (listener {listener.address})"
+                )
+            transport = listener.next_transport(remaining)
+            if transport is None:
+                continue
+            if not transport.is_open():
+                transport.close()
+                continue  # a stale registration whose socket already died
+            return transport
+
+    def _reap(self) -> None:
+        child = self.child
+        if child is not None and child.poll() is None:
+            child.kill()
+            try:
+                child.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+        self.child = None
+
+    def close(self) -> None:
+        self._reap()
+
+
+class _Worker:
+    """One worker slot: a transport, its reader thread, and its launcher."""
+
+    def __init__(self, pool: "WorkerPool", index: int, launcher) -> None:
         self.pool = pool
         self.index = index
         self.name = f"w{index}"
+        self.launcher = launcher
         self.lock = threading.Lock()  # guards writes + pending bookkeeping
-        self.process: Optional[subprocess.Popen] = None
+        self.transport: Optional[Transport] = None
         self.reader: Optional[threading.Thread] = None
         self.pending: Dict[int, Future] = {}
         self.healthy = False
@@ -113,28 +237,14 @@ class _Worker:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def spawn(self) -> None:
-        """Start the process and its reader; replay the pool's init ops."""
-        env = dict(os.environ)
-        package_root = str(Path(__file__).resolve().parents[2])
-        existing = env.get("PYTHONPATH", "")
-        if package_root not in existing.split(os.pathsep):
-            env["PYTHONPATH"] = (
-                package_root + (os.pathsep + existing if existing else "")
-            )
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro.cluster.worker", "--worker-id", self.name],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=None,  # worker tracebacks surface on the parent's stderr
-            env=env,
-            bufsize=0,
-        )
+        """Acquire a transport and its reader; replay the pool's init ops."""
+        transport = self.launcher.launch(self)
         with self.lock:
-            self.process = process
+            self.transport = transport
             self.pending = {}
         reader = threading.Thread(
             target=self._read_loop,
-            args=(process,),
+            args=(transport,),
             name=f"repro-cluster-reader-{self.name}",
             daemon=True,
         )
@@ -147,62 +257,75 @@ class _Worker:
         self.healthy = True
 
     def kill(self) -> None:
-        """Force the process down; the reader thread handles the fallout.
+        """Force the worker down; the reader thread handles the fallout.
 
-        Health is cleared *before* the signal lands so callers polling
+        Health is cleared *before* the close lands so callers polling
         ``healthy_workers()`` never see a doomed worker as routable in the
-        window between the SIGKILL and the reader thread observing EOF.
+        window between the kill and the reader thread observing EOF.  For
+        a pipe worker this is a SIGKILL; for a TCP worker it severs the
+        connection (the remote process sees EOF and exits or re-dials).
         """
         self.healthy = False
         with self.lock:
-            process = self.process
-        if process is not None and process.poll() is None:
-            process.kill()
+            transport = self.transport
+        if transport is not None:
+            transport.close()
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Polite stop: ask, wait, then kill."""
         self.healthy = False
         with self.lock:
-            process = self.process
-        if process is None:
+            transport = self.transport
+        if transport is None:
             return
-        if process.poll() is None:
+        if transport.is_open():
             try:
                 future = self.send("shutdown", {})
                 future.result(timeout=timeout)
             except (WorkerError, FutureTimeout, OSError):
                 pass
-            try:
-                process.wait(timeout=timeout)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait(timeout=timeout)
+            if not transport.wait_closed(timeout):
+                transport.close()
+                transport.wait_closed(timeout)
 
     # ------------------------------------------------------------------ #
     # I/O
     # ------------------------------------------------------------------ #
-    def send(self, op: str, args: Mapping[str, Any]) -> "Future[Any]":
-        """Write one request; the reader resolves the returned future."""
+    def send(
+        self,
+        op: str,
+        args: Mapping[str, Any],
+        *,
+        write_timeout: Optional[float] = None,
+    ) -> "Future[Any]":
+        """Write one request; the reader resolves the returned future.
+
+        ``write_timeout`` bounds the transport write itself (writability
+        checked before writing), so a peer that stopped draining cannot
+        park the caller — the heartbeat loop depends on this.
+        """
         future: "Future[Any]" = Future()
         with self.lock:
-            process = self.process
-            if process is None or process.poll() is not None or process.stdin is None:
+            transport = self.transport
+            if transport is None or not transport.is_open():
                 raise WorkerDied(f"worker {self.name} is not running")
             request_id = self.pool._next_id()
             self.pending[request_id] = future
             try:
-                process.stdin.write(encode_message(request(request_id, op, args)))
-                process.stdin.flush()
-            except (BrokenPipeError, OSError):
+                transport.write(
+                    encode_message(request(request_id, op, args)),
+                    timeout=write_timeout,
+                )
+            except TransportClosed as error:
                 self.pending.pop(request_id, None)
-                raise WorkerDied(f"worker {self.name} pipe is closed") from None
+                raise WorkerDied(
+                    f"worker {self.name} transport is closed: {error}"
+                ) from None
         return future
 
-    def _read_loop(self, process: subprocess.Popen) -> None:
-        stdout = process.stdout
-        assert stdout is not None
+    def _read_loop(self, transport: Transport) -> None:
         while True:
-            line = stdout.readline()
+            line = transport.readline()
             if not line:
                 break
             try:
@@ -228,8 +351,9 @@ class _Worker:
                         str(message.get("error_type", "RemoteError")),
                     )
                 )
-        # EOF: the worker exited (clean shutdown, crash, or kill).
+        # End of stream: the worker exited or the connection dropped.
         self.healthy = False
+        transport.close()  # later sends fail fast instead of going nowhere
         with self.lock:
             doomed = list(self.pending.values())
             self.pending = {}
@@ -238,22 +362,28 @@ class _Worker:
                 future.set_exception(
                     WorkerDied(f"worker {self.name} died with the op in flight")
                 )
-        self.pool._on_worker_exit(self, process)
+        self.pool._on_worker_exit(self, transport)
 
     def describe(self) -> Dict[str, object]:
         with self.lock:
-            process = self.process
+            transport = self.transport
             pending = len(self.pending)
-        return {
+        entry: Dict[str, object] = {
             "name": self.name,
-            "pid": process.pid if process is not None else None,
-            "alive": process is not None and process.poll() is None,
+            "pid": transport.pid if transport is not None else None,
+            "alive": transport.is_open() if transport is not None else False,
             "healthy": self.healthy,
             "retired": self.retired,
             "restarts": self.restarts,
             "tasks_done": self.tasks_done,
             "pending": pending,
+            "transport": transport.kind if transport is not None else self.launcher.kind,
         }
+        if isinstance(transport, TcpTransport):
+            entry["peer"] = transport.peer
+            entry["host"] = transport.host
+            entry["worker_id"] = transport.info.get("worker_id")
+        return entry
 
 
 class WorkerPool(StatsSource):
@@ -264,6 +394,13 @@ class WorkerPool(StatsSource):
     serving workers re-``load`` their artifacts after a crash.  The pool
     is a context manager; ``stop()`` shuts workers down politely and
     kills stragglers.
+
+    With ``listen="HOST:PORT"`` and a shared ``secret``, ``remote`` of the
+    ``count`` slots (default: all of them, or ``len(spawn_commands)``)
+    are filled by connect-back TCP workers instead of local forks; the
+    resolved listener address is :attr:`listen_address` (useful with port
+    ``0``).  Remote workers spill/warm their caches in per-host warm dirs
+    — the pool never assumes a shared cache directory across machines.
     """
 
     def __init__(
@@ -276,6 +413,11 @@ class WorkerPool(StatsSource):
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         init_timeout: float = DEFAULT_INIT_TIMEOUT,
+        listen: Optional[str] = None,
+        secret: Optional[str] = None,
+        remote: Optional[int] = None,
+        spawn_commands: Optional[Sequence[Sequence[str]]] = None,
+        register_timeout: float = DEFAULT_REGISTER_TIMEOUT,
     ) -> None:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
@@ -296,7 +438,48 @@ class WorkerPool(StatsSource):
         self.heartbeat_timeout = heartbeat_timeout
         self.max_restarts = max_restarts
         self.init_timeout = init_timeout
-        self._workers = [_Worker(self, index) for index in range(count)]
+        self.register_timeout = register_timeout
+
+        if listen is None:
+            if secret is not None:
+                raise ValueError("secret= only makes sense with listen=")
+            if remote:
+                raise ValueError("remote worker slots require listen=")
+            if spawn_commands:
+                raise ValueError("spawn_commands require listen=")
+            self.listener: Optional[WorkerListener] = None
+            remote_count = 0
+        else:
+            if not secret:
+                raise ValueError(
+                    "listen= requires a shared secret (secret=...) so only "
+                    "handshake-verified workers can register"
+                )
+            if remote is None:
+                remote_count = len(spawn_commands) if spawn_commands else count
+            else:
+                remote_count = int(remote)
+            if not 1 <= remote_count <= count:
+                raise ValueError(
+                    f"remote worker slots must be in 1..{count}, got {remote_count}"
+                )
+            if spawn_commands and len(spawn_commands) != remote_count:
+                raise ValueError(
+                    f"got {len(spawn_commands)} spawn_commands for "
+                    f"{remote_count} remote slot(s)"
+                )
+            self.listener = WorkerListener(listen, secret=secret)
+        self.listen_address = self.listener.address if self.listener else None
+
+        launchers: List[Any] = [
+            _PipeLauncher() for _ in range(count - remote_count)
+        ]
+        for index in range(remote_count):
+            command = spawn_commands[index] if spawn_commands else None
+            launchers.append(_ConnectLauncher(self, command))
+        self._workers = [
+            _Worker(self, index, launchers[index]) for index in range(count)
+        ]
         self._lock = threading.Lock()
         self._id_counter = 0
         self._rr = 0
@@ -324,6 +507,9 @@ class WorkerPool(StatsSource):
             self._stopping = True
             for worker in self._workers:
                 worker.kill()
+                worker.launcher.close()
+            if self.listener is not None:
+                self.listener.stop()
             raise
         self._heartbeat_wake.clear()
         self._heartbeat_thread = threading.Thread(
@@ -341,6 +527,10 @@ class WorkerPool(StatsSource):
             self._heartbeat_thread = None
         for worker in self._workers:
             worker.shutdown(timeout=min(timeout, 5.0))
+        for worker in self._workers:
+            worker.launcher.close()
+        if self.listener is not None:
+            self.listener.stop()
         self._started = False
 
     def __enter__(self) -> "WorkerPool":
@@ -445,7 +635,11 @@ class WorkerPool(StatsSource):
         return results
 
     def kill_worker(self, name: str) -> bool:
-        """SIGKILL one worker by name (crash-recovery tests/benchmarks)."""
+        """Sever one worker by name (crash/disconnect tests and benchmarks).
+
+        A pipe worker is SIGKILLed; a TCP worker's connection is dropped —
+        either way the slot goes through the ordinary restart path.
+        """
         for worker in self._workers:
             if worker.name == name:
                 worker.kill()
@@ -501,12 +695,12 @@ class WorkerPool(StatsSource):
             "no healthy worker (all dead or mid-restart); retry shortly"
         )
 
-    def _on_worker_exit(self, worker: _Worker, process: subprocess.Popen) -> None:
-        """Reader-thread callback when a worker's pipe reaches EOF."""
+    def _on_worker_exit(self, worker: _Worker, transport: Transport) -> None:
+        """Reader-thread callback when a worker's stream ends."""
         if self._stopping:
             return
         with worker.lock:
-            if worker.process is not process:
+            if worker.transport is not transport:
                 return  # a stale reader from a previous generation
         if worker.restarts >= self.max_restarts:
             worker.retired = True
@@ -521,16 +715,17 @@ class WorkerPool(StatsSource):
             self._restarts += 1
         threading.Thread(
             target=self._respawn,
-            args=(worker,),
+            args=(worker, transport),
             name=f"repro-cluster-respawn-{worker.name}",
             daemon=True,
         ).start()
 
-    def _respawn(self, worker: _Worker) -> None:
+    def _respawn(self, worker: _Worker, transport: Transport) -> None:
         try:
-            process = worker.process
-            if process is not None:
-                process.wait(timeout=10.0)
+            if not transport.wait_closed(10.0):
+                raise TimeoutError(
+                    f"previous transport of worker {worker.name} did not close"
+                )
             if not self._stopping:
                 worker.spawn()
         except Exception as error:
@@ -540,8 +735,9 @@ class WorkerPool(StatsSource):
             )
             # One more chance through the same path, until the budget runs
             # out; a worker whose init op keeps failing retires loudly.
-            if worker.process is not None:
-                self._on_worker_exit(worker, worker.process)
+            current = worker.transport
+            if current is not None:
+                self._on_worker_exit(worker, current)
 
     def _note_protocol_error(self, worker: _Worker, error: ProtocolError) -> None:
         print(
@@ -564,7 +760,12 @@ class WorkerPool(StatsSource):
                     # single-threaded worker mid-op would only queue up.
                     continue
                 try:
-                    worker.send("ping", {}).result(timeout=self.heartbeat_timeout)
+                    # The write itself carries a timeout: a peer with full
+                    # kernel buffers fails this probe instead of wedging
+                    # the loop (and with it, every other worker's checks).
+                    worker.send(
+                        "ping", {}, write_timeout=self.heartbeat_timeout
+                    ).result(timeout=self.heartbeat_timeout)
                 except (WorkerError, FutureTimeout, OSError):
                     if not self._stopping:
                         worker.kill()  # the exit handler respawns it

@@ -32,8 +32,26 @@ PROTOCOL_VERSION = 1
 MAX_MESSAGE_BYTES = 64 << 20
 
 
+#: how many bytes of an offending line ride inside a ProtocolError — long
+#: enough to recognise the garbage (an HTTP request? a stack trace?),
+#: short enough that a log line stays a log line.
+PREVIEW_BYTES = 200
+
+
 class ProtocolError(RuntimeError):
     """A message violated the wire protocol (bad JSON, wrong version)."""
+
+
+def _preview(line: bytes) -> str:
+    """A log-safe description of the offending line: length + truncated repr.
+
+    Sockets deliver garbage more creatively than pipes do (a port scanner,
+    a mis-pointed curl, a truncated frame after a reset), so every
+    rejection must be debuggable from the error text alone.
+    """
+    shown = line[:PREVIEW_BYTES]
+    suffix = "" if len(line) <= PREVIEW_BYTES else f"… (+{len(line) - PREVIEW_BYTES} more bytes)"
+    return f"{len(line)}-byte line {shown!r}{suffix}"
 
 
 def encode_message(message: Mapping[str, Any]) -> bytes:
@@ -50,21 +68,25 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     """Parse and validate one line; raises :class:`ProtocolError` loudly."""
     if len(line) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
-            f"message of {len(line)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap"
+            f"message of {len(line)} bytes exceeds the {MAX_MESSAGE_BYTES}-byte cap: "
+            f"{_preview(line)}"
         )
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"message is not valid JSON: {error}") from None
+        raise ProtocolError(
+            f"message is not valid JSON ({error}): {_preview(line)}"
+        ) from None
     if not isinstance(message, dict):
         raise ProtocolError(
-            f"message must be a JSON object, got {type(message).__name__}"
+            f"message must be a JSON object, got {type(message).__name__}: "
+            f"{_preview(line)}"
         )
     version = message.get("v")
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version mismatch: got {version!r}, "
-            f"this end speaks {PROTOCOL_VERSION}"
+            f"this end speaks {PROTOCOL_VERSION}: {_preview(line)}"
         )
     return message
 

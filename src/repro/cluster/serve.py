@@ -40,7 +40,9 @@ from ..serving.http import (
     DEFAULT_REQUEST_TIMEOUT,
     BaseHttpServer,
 )
+from .net import CONNECT_PLACEHOLDER, read_secret, ssh_worker_command
 from .pool import (
+    DEFAULT_REGISTER_TIMEOUT,
     ClusterUnavailable,
     RemoteError,
     TaskTimeout,
@@ -142,11 +144,31 @@ class ClusterHttpServer(BaseHttpServer):
             ),
         )
 
+    @staticmethod
+    def _host_summary(
+        worker_stats: Mapping[str, Mapping[str, Any]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Per-host rollup of the fleet (a cross-machine pool spans several).
+
+        Keys become a ``host`` label dimension in ``/metrics``; values stay
+        numeric so the Prometheus walker renders every field.
+        """
+        hosts: Dict[str, Dict[str, int]] = {}
+        for entry in worker_stats.values():
+            if not isinstance(entry, Mapping):
+                continue
+            host = str(entry.get("host") or "local")
+            summary = hosts.setdefault(host, {"workers": 0, "ops_done": 0})
+            summary["workers"] += 1
+            summary["ops_done"] += int(entry.get("ops_done", 0) or 0)
+        return hosts
+
     def _cluster_snapshot(
         self, worker_stats: Mapping[str, Mapping[str, Any]]
     ) -> Dict[str, object]:
         """The fleet as one stats tree: pool counters, per-worker routers,
-        and the cluster-wide latency histogram merged across workers."""
+        a per-host rollup, and the cluster-wide latency histogram merged
+        across workers."""
         routers = {
             name: entry["router"]
             for name, entry in sorted(worker_stats.items())
@@ -163,6 +185,7 @@ class ClusterHttpServer(BaseHttpServer):
         return {
             "pool": self.pool.snapshot(),
             "workers": routers,
+            "hosts": self._host_summary(worker_stats),
             "latency": HistogramStats.merged(histograms).as_dict(),
         }
 
@@ -211,6 +234,7 @@ class ClusterHttpServer(BaseHttpServer):
         return 200, {
             "pool": self.pool.snapshot(),
             "workers": {name: worker_stats[name] for name in sorted(worker_stats)},
+            "hosts": self._host_summary(worker_stats),
             "http": self.snapshot(),
         }
 
@@ -275,20 +299,52 @@ def serve_cluster(
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     task_timeout: Optional[float] = None,
     max_restarts: int = 3,
+    listen: Optional[str] = None,
+    secret: Optional[str] = None,
+    secret_file: Optional[str] = None,
+    worker_hosts: Optional[Sequence[str]] = None,
+    remote_workers: Optional[int] = None,
+    register_timeout: float = DEFAULT_REGISTER_TIMEOUT,
+    ssh_python: str = "python3",
 ) -> ClusterHttpServer:
     """Build (not start) the multi-process serving stack.
 
-    The pool's ``load`` init op ships the artifact paths, the shared cache
+    The pool's ``load`` init op ships the artifact paths, the cache
     directory and the serve limits to every worker — at first spawn *and*
     after every crash restart, which is what makes restarts transparent.
     Returns a :class:`ClusterHttpServer` owning the pool; use it as a
     context manager or call ``start()``/``stop()``.
+
+    With ``listen="HOST:PORT"`` (plus a shared secret via ``secret`` or
+    ``secret_file``) some or all worker slots are filled by connect-back
+    TCP workers instead of local forks: ``worker_hosts`` names machines to
+    ssh a worker onto (one slot each, respawned over ssh after a crash),
+    ``remote_workers`` reserves slots for externally-started ``--connect``
+    workers.  Remote workers ignore ``cache_dir`` — a parent-machine path
+    means nothing to them — and warm/spill in their own per-host warm dir.
     """
     load_args: Dict[str, Any] = {
         "artifacts": [str(artifact) for artifact in artifacts],
         "cache_dir": str(cache_dir) if cache_dir is not None else None,
         "serve": _serve_payload(serve),
     }
+    if secret is None and secret_file is not None:
+        secret = read_secret(secret_file)
+    spawn_commands = None
+    if worker_hosts:
+        if secret_file is None:
+            raise ValueError(
+                "worker_hosts need secret_file= (the secret must exist as a "
+                "file on the remote hosts; it never rides in argv)"
+            )
+        spawn_commands = [
+            ssh_worker_command(
+                worker_host, CONNECT_PLACEHOLDER, secret_file, python=ssh_python
+            )
+            for worker_host in worker_hosts
+        ]
+        if remote_workers is None:
+            remote_workers = len(spawn_commands)
     pool = WorkerPool(
         workers,
         init_ops=[("load", load_args)],
@@ -296,6 +352,11 @@ def serve_cluster(
             DEFAULT_REQUEST_TIMEOUT, request_timeout
         ),
         max_restarts=max_restarts,
+        listen=listen,
+        secret=secret,
+        remote=remote_workers,
+        spawn_commands=spawn_commands,
+        register_timeout=register_timeout,
     )
     return ClusterHttpServer(
         pool,

@@ -60,8 +60,12 @@ COUNTER_FIELDS = frozenset(
 #: a label value instead of a metric-name component.  ``workers`` nests
 #: *outside* ``shards`` in cluster snapshots, so aggregated series from N
 #: worker processes carry a ``worker`` label and never collide on shard
-#: name alone.
-LABEL_DIMENSIONS = {"shards": ("shard", "shard"), "workers": ("worker", "worker")}
+#: name alone; ``hosts`` labels the cross-machine rollup by hostname.
+LABEL_DIMENSIONS = {
+    "shards": ("shard", "shard"),
+    "workers": ("worker", "worker"),
+    "hosts": ("host", "host"),
+}
 
 #: keys identifying a HistogramStats.as_dict() payload.
 _HISTOGRAM_KEYS = frozenset({"count", "sum_ms", "counts"})

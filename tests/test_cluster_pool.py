@@ -160,6 +160,43 @@ class TestSupervision:
             assert result["value"] == {"slept": 1.5}  # retried, not dropped
             assert pool.stats().retries >= 1
 
+    def test_concurrent_callers_race_a_kill_without_hung_futures(self):
+        """Two threads mid-op on dying workers: both must resolve cleanly.
+
+        The race the retry path must survive: two concurrent calls are in
+        flight when their workers get killed; each caller must either get
+        its (idempotent) result from a survivor or raise a typed error —
+        nothing may hang on a future nobody will ever resolve.
+        """
+        with WorkerPool(3, heartbeat_interval=0.5) as pool:
+            results: dict = {}
+            errors: dict = {}
+
+            def run(slot: str) -> None:
+                try:
+                    results[slot] = pool.call(
+                        "sleep", {"seconds": 1.2}, timeout=60
+                    )
+                except Exception as error:  # noqa: BLE001 — the assertion below
+                    errors[slot] = error
+
+            threads = [
+                threading.Thread(target=run, args=(name,)) for name in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.4)  # both sleeps are now in flight
+            pool.kill_worker("w0")
+            pool.kill_worker("w1")
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads), (
+                "a caller hung on an unresolved future"
+            )
+            assert not errors, errors  # w2 survived: both must be retried onto it
+            assert results == {"a": {"slept": 1.2}, "b": {"slept": 1.2}}
+            assert pool.stats().retries >= 1
+
     def test_task_timeout_kills_and_respawns(self):
         with WorkerPool(1, heartbeat_interval=0.2) as pool:
             with pytest.raises(TaskTimeout, match="exceeded"):
